@@ -1,0 +1,71 @@
+"""Ablation D — energy cost of the group-management design choices.
+
+Not a paper figure: the paper's motes were wall-of-time disposable, but
+its design space (heartbeat period, relinquish vs takeover, flooding) is
+an energy/responsiveness trade-off.  This ablation meters MICA-class radio
+and CPU energy across that space for the canonical case-study run, showing
+the cost of the responsiveness Figure 5 buys.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import TankScenario
+from repro.experiments.scenarios import build_app
+from repro.node import EnergyMeter
+
+
+def measure(heartbeat_period: float, relinquish: bool,
+            member_rebroadcast: bool, seed: int = 3):
+    scenario = TankScenario(columns=8 if QUICK else 12, rows=2,
+                            heartbeat_period=heartbeat_period,
+                            relinquish=relinquish,
+                            member_rebroadcast=member_rebroadcast,
+                            with_base_station=False, seed=seed)
+    app = build_app(scenario)
+    app.install()
+    meter = EnergyMeter(app.sim)
+    for mote in app.field.mote_list():
+        meter.attach(mote)
+    app.run(until=scenario.duration)
+    elapsed = app.sim.now
+    return {
+        "active_mj": 1000.0 * meter.active_joules(elapsed),
+        "hottest_mj": 1000.0 * meter.max_node_joules(elapsed,
+                                                     include_idle=False),
+        "breakdown": meter.breakdown(elapsed),
+    }
+
+
+def test_ablation_energy(benchmark):
+    settings = {
+        "HB 0.125s, relinquish, flood": (0.125, True, True),
+        "HB 0.5s,   relinquish, flood": (0.5, True, True),
+        "HB 0.5s,   relinquish, no flood": (0.5, True, False),
+        "HB 0.5s,   takeover,   flood": (0.5, False, True),
+        "HB 2s,     relinquish, flood": (2.0, True, True),
+    }
+
+    def run():
+        return {name: measure(*params)
+                for name, params in settings.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation D — active radio+CPU energy of one case-study run "
+             "(millijoules, fleet-wide)",
+             f"{'setting':>34} {'active mJ':>10} {'hottest mJ':>11}"]
+    for name, data in results.items():
+        lines.append(f"{name:>34} {data['active_mj']:>10.1f} "
+                     f"{data['hottest_mj']:>11.1f}")
+    idle = results["HB 0.5s,   relinquish, flood"]["breakdown"]["idle"]
+    lines.append(f"(idle-listening baseline over the same run: "
+                 f"{1000 * idle:.0f} mJ — duty cycling, not protocol "
+                 f"tuning, is where the battery goes)")
+    emit("Ablation D — energy", "\n".join(lines))
+
+    fast = results["HB 0.125s, relinquish, flood"]["active_mj"]
+    default = results["HB 0.5s,   relinquish, flood"]["active_mj"]
+    slow = results["HB 2s,     relinquish, flood"]["active_mj"]
+    no_flood = results["HB 0.5s,   relinquish, no flood"]["active_mj"]
+    # Faster heartbeats cost more energy; the flood costs energy too.
+    assert fast > default > slow
+    assert default > no_flood

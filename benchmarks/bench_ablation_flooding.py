@@ -1,0 +1,61 @@
+"""Ablation A — h-hop heartbeat flooding past the group perimeter.
+
+§5.2 describes forwarding leader heartbeats "h hops past the group's
+perimeter" to extend the awareness horizon, and §6.2 leaves evaluating the
+mechanism to future work.  This ablation runs it: with heartbeat transmit
+power confined to the sensing radius (the failing Figure 4 setting),
+non-member forwarding restores handover success at the cost of extra
+traffic.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import SPEED_50_KMH, TankScenario, run_tank_scenario
+
+
+def run_setting(flood_hops: int, repetitions: int):
+    successes = failures = 0
+    heartbeats = 0
+    for rep in range(repetitions):
+        # Sharp-disk radio on a jittered grid: heartbeat reach ends
+        # exactly at the sensing radius, so whether a node ahead of the
+        # target has heard the label is purely a question of *geometry* —
+        # which the h-hop flood extends by one radio hop per hop of h.
+        scenario = TankScenario(
+            columns=12 if QUICK else 16, rows=3, speed=SPEED_50_KMH,
+            sensing_radius=1.0, heartbeat_tx_range=1.0,
+            member_rebroadcast=False, flood_hops=flood_hops,
+            deployment_jitter=0.25, base_loss_rate=0.03,
+            with_base_station=False, seed=90 + rep)
+        result = run_tank_scenario(scenario)
+        successes += result.handovers.successful_handovers
+        failures += result.handovers.failed_handovers
+        heartbeats += result.communication.heartbeats_sent
+    total = successes + failures
+    pct = 100.0 * successes / total if total else 0.0
+    return pct, heartbeats / repetitions
+
+
+def test_ablation_flooding(benchmark):
+    repetitions = 1 if QUICK else 4
+
+    def run():
+        return {hops: run_setting(hops, repetitions)
+                for hops in (0, 1, 2)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation A — heartbeat flood hops past the perimeter "
+             "(heartbeat reach = sensing radius)",
+             f"{'h':>3} {'handover success':>17} {'heartbeats/run':>15}"]
+    for hops, (pct, heartbeats) in sorted(results.items()):
+        lines.append(f"{hops:>3} {pct:>16.1f}% {heartbeats:>15.0f}")
+    emit("Ablation A — h-hop flooding", "\n".join(lines))
+
+    if not QUICK:
+        # Flooding extends the awareness horizon: success improves …
+        assert results[1][0] > results[0][0]
+        # … and costs traffic: forwarded copies multiply heartbeats.
+        assert results[1][1] > results[0][1]
+        # Extra hops beyond the first give little additional benefit at
+        # this geometry but keep costing messages.
+        assert results[2][1] >= results[1][1]

@@ -1,0 +1,84 @@
+"""Ablation B — receive/wait timer ratios.
+
+§6.2: "Best results are achieved when the receive and wait timers … are
+set to 2.1 and 4.2 times the leader heartbeat period respectively."  This
+ablation varies the ratios around the paper's values in the takeover
+stress scenario and reports coherence and churn: too-tight receive timers
+cause spurious takeovers on ordinary heartbeat loss; wait timers shorter
+than the receive timer let spurious labels form during takeovers.
+"""
+
+from dataclasses import replace
+
+from conftest import QUICK, emit
+
+from repro.experiments import TankScenario, run_tank_scenario
+from repro.experiments.scenarios import build_tracker_definition
+import repro.experiments.scenarios as scenarios_module
+from repro.groups import GroupConfig
+
+
+def run_with_ratios(receive_ratio: float, wait_ratio: float,
+                    repetitions: int):
+    original = scenarios_module.build_tracker_definition
+
+    def patched(scenario, _original=original):
+        definition = _original(scenario)
+        definition.group = replace(definition.group,
+                                   receive_ratio=receive_ratio,
+                                   wait_ratio=wait_ratio)
+        return definition
+
+    scenarios_module.build_tracker_definition = patched
+    try:
+        coherent = takeovers = labels = 0
+        for rep in range(repetitions):
+            # No member rebroadcast: each member hears exactly one copy
+            # of each heartbeat, so the receive-timer margin is exercised
+            # directly by the 20% channel loss.
+            scenario = TankScenario(
+                columns=12 if QUICK else 16, rows=3, speed=1.0,
+                heartbeat_period=0.25, relinquish=False,
+                member_rebroadcast=False,
+                base_loss_rate=0.20, with_base_station=False,
+                seed=110 + rep)
+            result = run_tank_scenario(scenario)
+            coherent += int(result.coherent)
+            takeovers += result.handovers.takeovers
+            labels += result.handovers.labels_created
+        return (coherent / repetitions, takeovers / repetitions,
+                labels / repetitions)
+    finally:
+        scenarios_module.build_tracker_definition = original
+
+
+def test_ablation_timer_ratios(benchmark):
+    repetitions = 1 if QUICK else 4
+    settings = {
+        "paper (2.1 / 4.2)": (2.1, 4.2),
+        "tight receive (1.2 / 4.2)": (1.2, 4.2),
+        "loose (4.0 / 8.0)": (4.0, 8.0),
+    }
+
+    def run():
+        return {name: run_with_ratios(rx, wait, repetitions)
+                for name, (rx, wait) in settings.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation B — timer ratios (takeover mode, 1 hop/s, "
+             "HB 0.25s, 20% loss)",
+             f"{'setting':>28} {'coherent':>9} {'takeovers':>10} "
+             f"{'labels':>7}"]
+    for name, (coherent, takeovers, labels) in results.items():
+        lines.append(f"{name:>28} {coherent:>9.2f} {takeovers:>10.1f} "
+                     f"{labels:>7.1f}")
+    emit("Ablation B — timer ratios", "\n".join(lines))
+
+    if not QUICK:
+        paper = results["paper (2.1 / 4.2)"]
+        tight = results["tight receive (1.2 / 4.2)"]
+        # A receive timer barely above one heartbeat period churns
+        # leadership on every lost heartbeat.
+        assert tight[1] > paper[1]
+        # The paper's ratios keep the run coherent.
+        assert paper[0] >= 0.5

@@ -1,0 +1,66 @@
+"""Ablation C — leader-weight duplicate suppression.
+
+§5.2 resolves duplicate same-type labels by *weight* (member reports
+received to date): lighter labels delete themselves when they hear heavier
+ones.  This ablation disables suppression (by shrinking the suppression
+range to zero, so no heartbeat ever qualifies) and counts how many labels
+end up representing one target.
+"""
+
+from dataclasses import replace
+
+from conftest import QUICK, emit
+
+from repro.experiments import TankScenario, run_tank_scenario
+import repro.experiments.scenarios as scenarios_module
+
+
+def run_setting(suppression_on: bool, repetitions: int):
+    original = scenarios_module.build_tracker_definition
+
+    def patched(scenario, _original=original):
+        definition = _original(scenario)
+        if not suppression_on:
+            definition.group = replace(definition.group,
+                                       suppression_range=0.0)
+        return definition
+
+    scenarios_module.build_tracker_definition = patched
+    try:
+        labels = deletions = 0
+        for rep in range(repetitions):
+            scenario = TankScenario(
+                columns=12 if QUICK else 16, rows=3, speed=1.0,
+                heartbeat_period=0.5, relinquish=False,
+                heartbeat_tx_range=2.0,  # marginal reach: duplicates form
+                member_rebroadcast=False, base_loss_rate=0.10,
+                with_base_station=False, seed=130 + rep)
+            result = run_tank_scenario(scenario)
+            labels += len(result.handovers.effective_labels())
+            deletions += result.handovers.suppressions
+        return labels / repetitions, deletions / repetitions
+    finally:
+        scenarios_module.build_tracker_definition = original
+
+
+def test_ablation_weight_suppression(benchmark):
+    repetitions = 1 if QUICK else 4
+
+    def run():
+        return {"suppression on": run_setting(True, repetitions),
+                "suppression off": run_setting(False, repetitions)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation C — weight-based duplicate suppression",
+             f"{'setting':>18} {'effective labels/run':>21} "
+             f"{'deletions/run':>14}"]
+    for name, (labels, deletions) in results.items():
+        lines.append(f"{name:>18} {labels:>21.1f} {deletions:>14.1f}")
+    emit("Ablation C — weight suppression", "\n".join(lines))
+
+    if not QUICK:
+        on_labels, on_deletions = results["suppression on"]
+        off_labels, off_deletions = results["suppression off"]
+        # Without suppression, duplicate labels accumulate.
+        assert off_labels > on_labels
+        assert off_deletions == 0.0

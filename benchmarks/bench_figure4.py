@@ -1,0 +1,34 @@
+"""Figure 4 — % successful context label handovers.
+
+Paper: with heartbeats propagated one hop past the sensing radius, all
+handovers succeed at both emulated tank speeds; with heartbeats confined
+to the sensing radius, a fraction of handovers fail, and more so at the
+higher speed.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import figure4
+
+
+def test_figure4_handover_success(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure4(repetitions=1 if QUICK else 4, quick=QUICK),
+        rounds=1, iterations=1)
+    emit("Figure 4 — successful handovers", result.format_table())
+
+    propagate_33 = result.cell(33, True).success_pct
+    propagate_50 = result.cell(50, True).success_pct
+    confined_33 = result.cell(33, False).success_pct
+    confined_50 = result.cell(50, False).success_pct
+
+    # Propagating past the sensing radius fixes handovers at both speeds.
+    assert propagate_33 == 100.0
+    assert propagate_50 == 100.0
+    if not QUICK:
+        # Confined heartbeats lose a visible fraction of handovers …
+        assert confined_33 < 99.0
+        assert confined_50 < 99.0
+        # … and propagation beats confinement at both speeds.
+        assert propagate_33 > confined_33
+        assert propagate_50 > confined_50

@@ -1,0 +1,50 @@
+"""Figure 5 — effect of group-management timers on max trackable speed.
+
+Paper: with leadership takeover as the handover mechanism (worst case —
+the leader fails/goes silent), the maximum trackable speed grows as the
+heartbeat period shrinks, reaches 1–3 hops/s, then *declines* when
+heartbeat processing overloads the motes; larger sensory signatures are
+trackable at higher speeds for a fixed communication radius, and the
+relinquish optimization's curve is flat with respect to the heartbeat
+period.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import figure5
+
+
+def test_figure5_timers_vs_trackable_speed(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5(quick=QUICK), rounds=1, iterations=1)
+    emit("Figure 5 — max trackable speed vs heartbeat period",
+         result.format_table())
+    if QUICK:
+        return
+
+    takeover_sr1 = dict(result.series(1.0, "takeover"))
+    takeover_sr2 = dict(result.series(2.0, "takeover"))
+
+    # Rising branch: faster heartbeats track faster targets.
+    assert takeover_sr1[0.25] > takeover_sr1[1.0] >= takeover_sr1[2.0]
+    # Plateau/peak in the paper's 1–3 hops/s range at small periods.
+    assert max(takeover_sr1.values()) >= 1.0
+    # Larger events trackable at least as fast for a fixed CR at the
+    # moderate periods (compare at 0.5 s).
+    assert takeover_sr2[0.5] >= takeover_sr1[0.5]
+    # Saturation at small periods: shrinking the period below the
+    # heartbeat-flood saturation point buys no further speed (the paper
+    # additionally measured a *decline* there, caused by its 4 MHz motes
+    # wedging under heartbeat processing; our simulated stack sheds
+    # overload by dropping excess frames instead, so the curve flattens
+    # rather than falls — see EXPERIMENTS.md).
+    peak_sr2 = max(v for p, v in takeover_sr2.items() if p >= 0.0625)
+    assert takeover_sr2[0.03125] <= peak_sr2
+
+    # Relinquish reference: flat w.r.t. heartbeat period — no trend, only
+    # ladder-quantization noise (a couple of rungs), in contrast to the
+    # order-of-magnitude swing of the takeover curve.
+    relinquish_sr1 = dict(result.series(1.0, "relinquish"))
+    values = list(relinquish_sr1.values())
+    assert min(values) >= 2.0
+    assert max(values) - min(values) <= 2.0

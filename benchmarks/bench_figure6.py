@@ -1,0 +1,32 @@
+"""Figure 6 — effect of the CR:SR ratio on max trackable speed.
+
+Paper: with the relinquish optimization on, larger events are trackable at
+faster speeds for a given communication:sensing radius ratio (fewer
+handovers per distance travelled), and the architecture breaks down when
+the ratio falls below 1 — nodes outside the leader's radio range sense the
+event concurrently and form spurious groups.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import figure6
+
+
+def test_figure6_crsr_ratio_vs_trackable_speed(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6(quick=QUICK), rounds=1, iterations=1)
+    emit("Figure 6 — max trackable speed vs CR:SR ratio",
+         result.format_table())
+    if QUICK:
+        return
+
+    sr2 = dict(result.series(2.0))
+    sr3 = dict(result.series(3.0))
+
+    # Breakdown when CR:SR < 1 (spurious concurrent groups).
+    assert sr2[0.7] == 0.0
+    assert sr3[0.7] == 0.0
+    # Recovery above ratio 1 and growth with the ratio.
+    assert sr2[3.0] > sr2[1.0]
+    # Larger events trackable at least as fast at an intermediate ratio.
+    assert sr3[2.0] >= sr2[2.0] or sr3[3.0] >= sr2[3.0]

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the core data structures.
+
+Not paper artifacts — these measure the simulator's own hot paths so
+performance regressions in the substrate are visible: event-engine
+throughput, sliding-window evaluation, the full parse→compile pipeline,
+and a complete small tracking run.
+"""
+
+from conftest import emit
+
+from repro.aggregation import AggregateVarSpec, default_registry
+from repro.aggregation.window import SlidingWindow
+from repro.experiments import TankScenario, run_tank_scenario
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+FIGURE2 = """
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            MySend(pursuer, self:label, location);
+        }
+    end
+end context
+"""
+
+
+def test_event_engine_throughput(benchmark):
+    """Schedule-and-dispatch rate of the discrete-event core."""
+
+    def run():
+        sim = Simulator()
+        count = 20_000
+        for i in range(count):
+            sim.schedule(float(i % 100) / 10.0, lambda: None)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 20_000
+
+
+def test_sliding_window_evaluation(benchmark):
+    """Aggregate-state read path: add readings + evaluate under QoS."""
+    spec = AggregateVarSpec("v", "avg", "s", confidence=5, freshness=1.0)
+    window = SlidingWindow(spec, default_registry().get("avg"))
+
+    def run():
+        valid = 0
+        for step in range(2_000):
+            t = step * 0.01
+            window.add(step % 10, float(step), t)
+            if window.evaluate(t).valid:
+                valid += 1
+        return valid
+
+    valid = benchmark(run)
+    assert valid > 0
+
+
+def test_dsl_pipeline(benchmark):
+    """Full parse → compile of the Figure 2 program."""
+    definitions = benchmark(lambda: compile_source(FIGURE2))
+    assert definitions[0].name == "tracker"
+
+
+def test_small_tracking_run(benchmark):
+    """One complete small scenario, end to end (the unit of every sweep)."""
+
+    def run():
+        return run_tank_scenario(
+            TankScenario(columns=8, rows=2, seed=1,
+                         with_base_station=False))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.handovers.labels_created >= 1

@@ -1,0 +1,48 @@
+"""Table 1 — communication performance data.
+
+Paper rows (33 / 50 km/hr): HB loss 7.08 / 22.69 %, Msg loss 3.05 /
+17.05 %, Link util 2.54 / 2.88 %.  The conclusions the table supports:
+
+1. the system operates correctly in the presence of message loss;
+2. loss comes from medium unreliability, not from link utilization;
+3. communication needs are a tiny fraction of the 50 kbps capacity;
+4. utilization grows only slightly with tank speed.
+
+We assert those four properties (absolute numbers differ — our channel
+model injects Bernoulli loss instead of real-radio fading; see
+EXPERIMENTS.md for the deviation discussion).
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments import table1
+
+
+def test_table1_communication_performance(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1(repetitions=1 if QUICK else 3, quick=QUICK),
+        rounds=1, iterations=1)
+    emit("Table 1 — communication performance", result.format_table())
+
+    row_33 = result.row(33)
+    row_50 = result.row(50)
+
+    # (1) Correct operation despite loss: runs stay coherent while both
+    # loss figures are nonzero.
+    assert row_33.coherent_runs == row_33.runs
+    assert row_50.coherent_runs == row_50.runs
+    assert row_33.metrics.heartbeat_loss_pct > 0
+    assert row_50.metrics.report_loss_pct > 0
+
+    # (3) Tiny fraction of the 50 kbps capacity (paper ≈ 2.5–2.9%).
+    assert row_33.metrics.link_utilization_pct < 10.0
+    assert row_50.metrics.link_utilization_pct < 10.0
+
+    # (2) Loss is not utilization-driven: utilization is far from
+    # saturation while loss is visible.
+    assert row_50.metrics.link_utilization_pct < 50.0
+
+    # (4) Utilization roughly flat with speed (within 2 percentage points).
+    delta = abs(row_50.metrics.link_utilization_pct
+                - row_33.metrics.link_utilization_pct)
+    assert delta < 2.0

@@ -1,0 +1,17 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the reproduced rows/series.  Set ``REPRO_BENCH_QUICK=1`` to shrink the
+sweeps for smoke-testing (a couple of parameter points, one repetition);
+the default runs the full reproduction.
+"""
+
+import os
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table under a visible banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

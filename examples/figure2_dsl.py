@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 program, verbatim, through the EnviroTrack DSL.
+
+The context definition language (§4, Appendix A) is parsed, compiled to
+runtime declarations, and run against a magnetometer-equipped field — the
+same pipeline as the paper's preprocessor emitting NesC.
+
+Run:
+    python examples/figure2_dsl.py
+"""
+
+from repro import EnviroTrackApp, LineTrajectory, Target
+from repro.lang import compile_source
+
+FIGURE_2_PROGRAM = """
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            MySend(pursuer, self:label, location);
+        }
+    end
+end context
+"""
+
+
+def main() -> None:
+    context_types = compile_source(FIGURE_2_PROGRAM)
+    print(f"compiled context types: "
+          f"{[definition.name for definition in context_types]}")
+
+    app = EnviroTrackApp(seed=11, base_loss_rate=0.05)
+    app.field.deploy_grid(10, 2)
+
+    # A T-72-like target: 44 tons, ~40x the ferrous mass of an average
+    # vehicle.  With the magnetometer threshold below, its detection
+    # radius works out to ≈0.7 grid units — the paper's 100 m on a 140 m
+    # grid.
+    app.field.add_target(Target(
+        name="t72", kind="vehicle",
+        trajectory=LineTrajectory((0.0, 0.5), speed=0.1),
+        signature_radius=0.7,
+        attributes={"ferrous_mass": 40_000.0}))
+    app.field.install_magnetometers(threshold=1.0)
+
+    for definition in context_types:
+        app.add_context_type(definition)
+    base = app.place_base_station((0.0, -3.0))
+    app.run(until=95.0)
+
+    print(f"\npursuer received {len(base.reports)} reports")
+    for label in base.labels_seen():
+        points = base.track(label)
+        print(f"context label {label}: {len(points)} position fixes")
+        for t, (x, y) in points[:8]:
+            print(f"  t={t:6.1f}s  ({x:5.2f}, {y:4.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Normal installs go through the in-tree PEP 517 backend (see
+``_build/repro_build.py``); this file only remains for tooling that still
+invokes ``setup.py`` directly."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""EnviroTrack — an environmental computing middleware for distributed
+sensor networks.
+
+A full reproduction of *EnviroTrack: Towards an Environmental Computing
+Paradigm for Distributed Sensor Networks* (Abdelzaher et al., ICDCS 2004):
+context labels attached to physical entities, tracking objects executing
+on dynamic sensor groups, approximate aggregate state with freshness and
+critical-mass QoS, heartbeat-based group management, geographic-hash
+directories and the MTP transport — all running on a deterministic
+discrete-event mote simulator that replaces the paper's MICA testbed.
+
+Quickstart::
+
+    from repro import (EnviroTrackApp, ContextTypeDef, AggregateVarSpec,
+                       TrackingObjectDef, MethodDef, TimerInvocation,
+                       Target, LineTrajectory)
+
+    app = EnviroTrackApp(seed=1)
+    app.field.deploy_grid(10, 2)
+    app.field.add_target(Target("car", "vehicle",
+                                LineTrajectory((0.0, 0.5), 0.1),
+                                signature_radius=1.0))
+    app.field.install_detection_sensors("vehicle_seen", kinds=["vehicle"])
+    ...
+
+See ``examples/quickstart.py`` for the complete program.
+"""
+
+from .aggregation import (AggregateStore, AggregateVarSpec,
+                          AggregationRegistry, ReadResult, default_registry)
+from .core import (BaseStation, ContextTypeDef, EnviroTrackAgent,
+                   EnviroTrackApp, MethodDef, ObjectContext, PortInvocation,
+                   ReportRecord, TimerInvocation, TrackingObjectDef,
+                   WhenInvocation)
+from .groups import GroupConfig, GroupListener, GroupManager, Role
+from .naming import DirectoryService, FieldBounds, hash_to_coordinate
+from .node import Component, Cpu, Mote
+from .radio import BROADCAST, Frame, Medium, RadioStats
+from .sensing import (GrowingTarget, LineTrajectory, RandomWalkTrajectory,
+                      SensorField, StaticPoint, Target, Trajectory,
+                      WaypointTrajectory, fire_target)
+from .sim import Simulator
+from .transport import GeoRouter, LastKnownLeaderTable, MtpAgent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateStore",
+    "AggregateVarSpec",
+    "AggregationRegistry",
+    "BROADCAST",
+    "BaseStation",
+    "Component",
+    "ContextTypeDef",
+    "Cpu",
+    "DirectoryService",
+    "EnviroTrackAgent",
+    "EnviroTrackApp",
+    "FieldBounds",
+    "Frame",
+    "GeoRouter",
+    "GroupConfig",
+    "GroupListener",
+    "GroupManager",
+    "GrowingTarget",
+    "LastKnownLeaderTable",
+    "LineTrajectory",
+    "Medium",
+    "MethodDef",
+    "Mote",
+    "MtpAgent",
+    "ObjectContext",
+    "PortInvocation",
+    "RadioStats",
+    "RandomWalkTrajectory",
+    "ReadResult",
+    "ReportRecord",
+    "Role",
+    "SensorField",
+    "Simulator",
+    "StaticPoint",
+    "Target",
+    "TimerInvocation",
+    "TrackingObjectDef",
+    "Trajectory",
+    "WaypointTrajectory",
+    "WhenInvocation",
+    "default_registry",
+    "fire_target",
+    "hash_to_coordinate",
+]

@@ -1,0 +1,23 @@
+"""Approximate aggregate state: windows, functions, collection protocol."""
+
+from .collection import (REPORT_KIND, build_report, parse_report,
+                         report_period, sample_readings)
+from .functions import (DEFAULT_REGISTRY, AggregationError,
+                        AggregationRegistry, default_registry)
+from .window import AggregateStore, AggregateVarSpec, ReadResult, SlidingWindow
+
+__all__ = [
+    "AggregateStore",
+    "AggregateVarSpec",
+    "AggregationError",
+    "AggregationRegistry",
+    "DEFAULT_REGISTRY",
+    "REPORT_KIND",
+    "ReadResult",
+    "SlidingWindow",
+    "build_report",
+    "default_registry",
+    "parse_report",
+    "report_period",
+    "sample_readings",
+]

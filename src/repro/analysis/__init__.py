@@ -1,0 +1,15 @@
+"""Result rendering: dependency-free SVG charts of the paper's figures."""
+
+from .render import (figure3_chart, figure4_chart, figure5_chart,
+                     figure6_chart)
+from .svg import BarChart, LineChart, Series
+
+__all__ = [
+    "BarChart",
+    "LineChart",
+    "Series",
+    "figure3_chart",
+    "figure4_chart",
+    "figure5_chart",
+    "figure6_chart",
+]

@@ -1,0 +1,69 @@
+"""Render experiment results as SVG figures matching the paper's plots."""
+
+from __future__ import annotations
+
+from ..experiments import (Figure3Result, Figure4Result, Figure5Result,
+                           Figure6Result)
+from .svg import BarChart, LineChart
+
+
+def figure3_chart(result: Figure3Result) -> LineChart:
+    """Figure 3: real vs tracked tank trajectory in field coordinates."""
+    chart = LineChart(title="Figure 3 — Tracked Tank Trajectory",
+                      x_label="X (grid units)", y_label="Y (grid units)")
+    comparison = result.comparison
+    chart.add_series("real trajectory",
+                     [real for _, _, real in comparison.points],
+                     draw_markers=False, dashed=True)
+    chart.add_series("tracked trajectory",
+                     [tracked for _, tracked, _ in comparison.points])
+    return chart
+
+
+def figure4_chart(result: Figure4Result) -> BarChart:
+    """Figure 4: % successful handovers, grouped by tank speed."""
+    series_names = ["Propagate heartbeat past sensing radius",
+                    "Heartbeats only within radius"]
+    groups = ["33 km/hr", "50 km/hr"]
+    values = [
+        [result.cell(33, True).success_pct,
+         result.cell(50, True).success_pct],
+        [result.cell(33, False).success_pct,
+         result.cell(50, False).success_pct],
+    ]
+    return BarChart(title="Figure 4 — Successful Handovers",
+                    groups=groups, series_names=series_names,
+                    values=values, y_label="% successful handovers")
+
+
+def figure5_chart(result: Figure5Result) -> LineChart:
+    """Figure 5: max trackable speed vs heartbeat period (log x)."""
+    chart = LineChart(
+        title="Figure 5 — Effect of Timers on Max Trackable Speed",
+        x_label="Heartbeat period (s)",
+        y_label="Max trackable speed (hops/s)", log_x=True)
+    radii = sorted({p.sensing_radius for p in result.points})
+    for radius in radii:
+        takeover = result.series(radius, "takeover")
+        if takeover:
+            chart.add_series(f"takeover, event radius {radius:g}",
+                             takeover)
+    for radius in radii:
+        relinquish = result.series(radius, "relinquish")
+        if relinquish:
+            chart.add_series(f"relinquish, event radius {radius:g}",
+                             relinquish, dashed=True)
+    return chart
+
+
+def figure6_chart(result: Figure6Result) -> LineChart:
+    """Figure 6: max trackable speed vs CR:SR ratio."""
+    chart = LineChart(
+        title="Figure 6 — Effect of Sensory Radius on Max Trackable "
+              "Speed",
+        x_label="Communication radius : sensing radius",
+        y_label="Max trackable speed (hops/s)")
+    for radius in sorted({p.sensing_radius for p in result.points}):
+        chart.add_series(f"event radius {radius:g}",
+                         result.series(radius))
+    return chart

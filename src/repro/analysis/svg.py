@@ -1,0 +1,304 @@
+"""Minimal dependency-free SVG chart writer.
+
+Renders the reproduction's figures (trajectories, parameter-sweep series,
+bar groups) as standalone SVG documents — no matplotlib required, so the
+library stays dependency-free while still producing the paper's plots.
+
+Only the chart shapes the figures need are implemented: scatter + line
+series on linear or log-x axes, bar groups, axis ticks and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+Point = Tuple[float, float]
+
+#: Distinguishable default series colors (colorblind-safe-ish).
+PALETTE = ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00",
+           "#56b4e9", "#000000"]
+
+
+@dataclass
+class Series:
+    """One plotted series."""
+
+    name: str
+    points: List[Point]
+    color: str = ""
+    draw_line: bool = True
+    draw_markers: bool = True
+    dashed: bool = False
+
+
+@dataclass
+class LineChart:
+    """A scatter/line chart with axes, ticks, grid and legend."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 640
+    height: int = 420
+    log_x: bool = False
+    series: List[Series] = field(default_factory=list)
+    margin_left: int = 64
+    margin_right: int = 150
+    margin_top: int = 40
+    margin_bottom: int = 52
+
+    def add_series(self, name: str, points: Sequence[Point],
+                   color: Optional[str] = None, draw_line: bool = True,
+                   draw_markers: bool = True,
+                   dashed: bool = False) -> None:
+        if color is None:
+            color = PALETTE[len(self.series) % len(PALETTE)]
+        self.series.append(Series(name=name, points=list(points),
+                                  color=color, draw_line=draw_line,
+                                  draw_markers=draw_markers,
+                                  dashed=dashed))
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.log_x:
+            if x_lo <= 0:
+                raise ValueError("log-x chart needs positive x values")
+        else:
+            if x_hi == x_lo:
+                x_hi = x_lo + 1.0
+            pad = 0.05 * (x_hi - x_lo)
+            x_lo, x_hi = x_lo - pad, x_hi + pad
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad = 0.08 * (y_hi - y_lo)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _x_to_px(self, x: float, x_lo: float, x_hi: float) -> float:
+        plot_width = self.width - self.margin_left - self.margin_right
+        if self.log_x:
+            frac = ((math.log(x) - math.log(x_lo))
+                    / (math.log(x_hi) - math.log(x_lo)))
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return self.margin_left + frac * plot_width
+
+    def _y_to_px(self, y: float, y_lo: float, y_hi: float) -> float:
+        plot_height = self.height - self.margin_top - self.margin_bottom
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return self.height - self.margin_bottom - frac * plot_height
+
+    @staticmethod
+    def _ticks(lo: float, hi: float, count: int = 6) -> List[float]:
+        if hi <= lo:
+            return [lo]
+        raw_step = (hi - lo) / max(count - 1, 1)
+        magnitude = 10 ** math.floor(math.log10(raw_step))
+        for factor in (1, 2, 2.5, 5, 10):
+            step = factor * magnitude
+            if step >= raw_step:
+                break
+        first = math.ceil(lo / step) * step
+        ticks = []
+        value = first
+        while value <= hi + 1e-12:
+            ticks.append(round(value, 10))
+            value += step
+        return ticks
+
+    def _log_ticks(self, lo: float, hi: float) -> List[float]:
+        ticks = []
+        exponent = math.floor(math.log10(lo))
+        while 10 ** exponent <= hi * 1.001:
+            for mantissa in (1, 2, 5):
+                value = mantissa * 10 ** exponent
+                if lo * 0.999 <= value <= hi * 1.001:
+                    ticks.append(value)
+            exponent += 1
+        return ticks or [lo, hi]
+
+    @staticmethod
+    def _fmt(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2g}"
+        text = f"{value:.3g}"
+        return text
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">'
+            f'{escape(self.title)}</text>',
+        ]
+        plot_left = self.margin_left
+        plot_right = self.width - self.margin_right
+        plot_top = self.margin_top
+        plot_bottom = self.height - self.margin_bottom
+        # Axes frame.
+        parts.append(
+            f'<rect x="{plot_left}" y="{plot_top}" '
+            f'width="{plot_right - plot_left}" '
+            f'height="{plot_bottom - plot_top}" fill="none" '
+            f'stroke="#444"/>')
+        # Ticks + grid.
+        x_ticks = (self._log_ticks(x_lo, x_hi) if self.log_x
+                   else self._ticks(x_lo, x_hi))
+        for tick in x_ticks:
+            px = self._x_to_px(tick, x_lo, x_hi)
+            parts.append(f'<line x1="{px:.1f}" y1="{plot_top}" '
+                         f'x2="{px:.1f}" y2="{plot_bottom}" '
+                         f'stroke="#ddd"/>')
+            parts.append(f'<text x="{px:.1f}" y="{plot_bottom + 16}" '
+                         f'text-anchor="middle">'
+                         f'{escape(self._fmt(tick))}</text>')
+        for tick in self._ticks(y_lo, y_hi):
+            py = self._y_to_px(tick, y_lo, y_hi)
+            parts.append(f'<line x1="{plot_left}" y1="{py:.1f}" '
+                         f'x2="{plot_right}" y2="{py:.1f}" '
+                         f'stroke="#ddd"/>')
+            parts.append(f'<text x="{plot_left - 6}" y="{py + 4:.1f}" '
+                         f'text-anchor="end">'
+                         f'{escape(self._fmt(tick))}</text>')
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{(plot_left + plot_right) / 2}" '
+                f'y="{self.height - 10}" text-anchor="middle">'
+                f'{escape(self.x_label)}</text>')
+        if self.y_label:
+            cx, cy = 16, (plot_top + plot_bottom) / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+                f'transform="rotate(-90 {cx} {cy})">'
+                f'{escape(self.y_label)}</text>')
+        # Series.
+        for series in self.series:
+            pixels = [(self._x_to_px(x, x_lo, x_hi),
+                       self._y_to_px(y, y_lo, y_hi))
+                      for x, y in series.points]
+            if series.draw_line and len(pixels) > 1:
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pixels)
+                dash = ' stroke-dasharray="6 4"' if series.dashed else ""
+                parts.append(f'<polyline points="{path}" fill="none" '
+                             f'stroke="{series.color}" '
+                             f'stroke-width="2"{dash}/>')
+            if series.draw_markers:
+                for x, y in pixels:
+                    parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" '
+                                 f'r="3.2" fill="{series.color}"/>')
+        # Legend.
+        legend_x = plot_right + 10
+        legend_y = plot_top + 8
+        for index, series in enumerate(self.series):
+            y = legend_y + index * 18
+            parts.append(f'<line x1="{legend_x}" y1="{y}" '
+                         f'x2="{legend_x + 18}" y2="{y}" '
+                         f'stroke="{series.color}" stroke-width="2"/>')
+            parts.append(f'<text x="{legend_x + 24}" y="{y + 4}">'
+                         f'{escape(series.name)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_svg())
+
+
+@dataclass
+class BarChart:
+    """Grouped bar chart (the Figure 4 rendering)."""
+
+    title: str
+    groups: List[str]
+    series_names: List[str]
+    #: values[series][group]
+    values: List[List[float]]
+    y_label: str = ""
+    width: int = 560
+    height: int = 360
+
+    def to_svg(self) -> str:
+        if len(self.values) != len(self.series_names):
+            raise ValueError("one value row per series required")
+        for row in self.values:
+            if len(row) != len(self.groups):
+                raise ValueError("one value per group required")
+        margin_left, margin_right = 56, 20
+        margin_top, margin_bottom = 44, 60
+        plot_width = self.width - margin_left - margin_right
+        plot_height = self.height - margin_top - margin_bottom
+        y_hi = max((max(row) for row in self.values), default=1.0)
+        y_hi = max(y_hi, 1e-9) * 1.1
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">'
+            f'{escape(self.title)}</text>',
+        ]
+        group_width = plot_width / len(self.groups)
+        bar_width = group_width / (len(self.series_names) + 1)
+        for group_index, group in enumerate(self.groups):
+            gx = margin_left + group_index * group_width
+            for series_index, name in enumerate(self.series_names):
+                value = self.values[series_index][group_index]
+                bar_height = plot_height * value / y_hi
+                x = gx + (series_index + 0.5) * bar_width
+                y = margin_top + plot_height - bar_height
+                color = PALETTE[series_index % len(PALETTE)]
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" '
+                    f'width="{bar_width * 0.9:.1f}" '
+                    f'height="{bar_height:.1f}" fill="{color}"/>')
+                parts.append(
+                    f'<text x="{x + bar_width * 0.45:.1f}" '
+                    f'y="{y - 4:.1f}" text-anchor="middle" '
+                    f'font-size="10">{value:.0f}</text>')
+            parts.append(
+                f'<text x="{gx + group_width / 2:.1f}" '
+                f'y="{self.height - margin_bottom + 18}" '
+                f'text-anchor="middle">{escape(group)}</text>')
+        # Legend (bottom).
+        for series_index, name in enumerate(self.series_names):
+            color = PALETTE[series_index % len(PALETTE)]
+            x = margin_left + series_index * (plot_width
+                                              / len(self.series_names))
+            y = self.height - 14
+            parts.append(f'<rect x="{x}" y="{y - 9}" width="12" '
+                         f'height="12" fill="{color}"/>')
+            parts.append(f'<text x="{x + 16}" y="{y + 2}" font-size="11">'
+                         f'{escape(name)}</text>')
+        if self.y_label:
+            cx, cy = 14, margin_top + plot_height / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+                f'transform="rotate(-90 {cx} {cy})">'
+                f'{escape(self.y_label)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_svg())

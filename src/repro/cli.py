@@ -1,0 +1,154 @@
+"""Command-line interface: reproduce any of the paper's experiments.
+
+Examples::
+
+    python -m repro figure3 --svg figure3.svg
+    python -m repro table1 --repetitions 3
+    python -m repro figure5 --quick
+    python -m repro all --quick --out-dir figures/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Optional
+
+from .analysis import (figure3_chart, figure4_chart, figure5_chart,
+                       figure6_chart)
+from .experiments import figure3, figure4, figure5, figure6, table1
+
+EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the EnviroTrack (ICDCS 2004) evaluation: "
+                    "Figures 3-6 and Table 1; or check/format EnviroTrack "
+                    "programs with 'compile <file>'.")
+    parser.add_argument("experiment",
+                        choices=EXPERIMENTS + ("all", "compile"),
+                        help="which experiment to run, or 'compile'")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="EnviroTrack program file (compile only)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink sweeps for a fast smoke run")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master seed (figure3 only; sweeps manage "
+                             "their own seed ladders)")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="independent runs per parameter point")
+    parser.add_argument("--svg", metavar="PATH", default=None,
+                        help="also write the figure as an SVG chart")
+    parser.add_argument("--out-dir", metavar="DIR", default=None,
+                        help="with 'all': write every SVG into DIR")
+    return parser
+
+
+def _run_figure3(args) -> tuple:
+    result = figure3(seed=args.seed)
+    return result, figure3_chart(result)
+
+
+def _run_figure4(args) -> tuple:
+    kwargs = {"quick": args.quick}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    result = figure4(**kwargs)
+    return result, figure4_chart(result)
+
+
+def _run_table1(args) -> tuple:
+    kwargs = {"quick": args.quick}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    return table1(**kwargs), None
+
+
+def _run_figure5(args) -> tuple:
+    kwargs = {"quick": args.quick}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    result = figure5(**kwargs)
+    return result, figure5_chart(result)
+
+
+def _run_figure6(args) -> tuple:
+    kwargs = {"quick": args.quick}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    result = figure6(**kwargs)
+    return result, figure6_chart(result)
+
+
+RUNNERS: dict = {
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "table1": _run_table1,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+}
+
+
+def run_one(name: str, args, svg_path: Optional[str],
+            out: Callable[[str], None]) -> None:
+    started = time.time()
+    result, chart = RUNNERS[name](args)
+    elapsed = time.time() - started
+    out(result.format_table())
+    out(f"[{name} completed in {elapsed:.1f}s]")
+    if svg_path and chart is not None:
+        chart.save(svg_path)
+        out(f"[wrote {svg_path}]")
+    elif svg_path:
+        out(f"[{name} has no chart rendering; SVG skipped]")
+
+
+def _run_compile(args, out: Callable[[str], None]) -> int:
+    """Validate an EnviroTrack program and print its canonical form."""
+    from .lang import (CompileError, LexError, ParseError, compile_source,
+                       format_program, parse_source)
+    if not args.source:
+        out("compile: missing program file argument")
+        return 2
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        out(f"compile: cannot read {args.source}: {exc}")
+        return 2
+    try:
+        program = parse_source(text)
+        definitions = compile_source(text)
+    except (LexError, ParseError, CompileError) as exc:
+        out(f"{args.source}: {exc}")
+        return 1
+    out(format_program(program).rstrip())
+    names = ", ".join(definition.name for definition in definitions)
+    out(f"\n[ok: {len(definitions)} context type(s): {names}]")
+    return 0
+
+
+def main(argv=None, out: Callable[[str], None] = print) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "compile":
+        return _run_compile(args, out)
+    if args.experiment == "all":
+        out_dir = args.out_dir
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        for name in EXPERIMENTS:
+            svg_path = (os.path.join(out_dir, f"{name}.svg")
+                        if out_dir and name != "table1" else None)
+            run_one(name, args, svg_path, out)
+            out("")
+        return 0
+    run_one(args.experiment, args, args.svg, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

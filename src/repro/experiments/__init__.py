@@ -1,0 +1,40 @@
+"""Evaluation reproduction: scenarios and per-figure entry points."""
+
+from .figures import (Figure3Result, Figure4Result, Figure5Result,
+                      Figure6Result, Table1Result, figure3, figure4,
+                      figure5, figure6, table1)
+from .scenarios import (SPEED_33_KMH, SPEED_50_KMH, TankRunResult,
+                        TankScenario, build_app, build_tracker_definition,
+                        run_tank_scenario)
+from .sizing import (DeploymentPlan, grid_spacing_for_coverage,
+                     hops_per_second, magnetic_detection_range,
+                     motes_for_area, paper_case_study, plan_deployment,
+                     seconds_per_hop)
+
+__all__ = [
+    "DeploymentPlan",
+    "Figure3Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "SPEED_33_KMH",
+    "SPEED_50_KMH",
+    "Table1Result",
+    "TankRunResult",
+    "TankScenario",
+    "build_app",
+    "build_tracker_definition",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "grid_spacing_for_coverage",
+    "hops_per_second",
+    "magnetic_detection_range",
+    "motes_for_area",
+    "paper_case_study",
+    "plan_deployment",
+    "run_tank_scenario",
+    "seconds_per_hop",
+    "table1",
+]

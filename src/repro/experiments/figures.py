@@ -1,0 +1,428 @@
+"""Per-figure/table reproduction entry points.
+
+One function per piece of the paper's evaluation (§6):
+
+* :func:`figure3`  — real vs tracked tank trajectory;
+* :func:`figure4`  — % successful handovers, 2 speeds × 2 heartbeat
+  propagation settings;
+* :func:`table1`   — HB loss / msg loss / link utilization at 2 speeds;
+* :func:`figure5`  — max trackable speed vs heartbeat period (2 sensing
+  radii, takeover worst case + flat relinquish reference);
+* :func:`figure6`  — max trackable speed vs CR:SR ratio (several event
+  sizes, relinquish optimization on).
+
+Each returns a structured result with a ``format_table()`` renderer that
+prints the same rows/series the paper reports.  The benchmarks call these
+functions; ``quick=True`` shrinks sweeps for smoke-testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics import (CommunicationMetrics, SpeedSearchResult,
+                       TrajectoryComparison, max_trackable_speed,
+                       mean_metrics)
+from .scenarios import (SPEED_33_KMH, SPEED_50_KMH, TankRunResult,
+                        TankScenario, run_tank_scenario)
+
+#: Stress-test rig (§6.2): a longer corridor, wider rows, and mote-like
+#: CPU parameters (a 4 MHz-class processor spends several ms per message;
+#: deep task queues let backlog build into real processing delay, which is
+#: the paper's diagnosed bottleneck at small heartbeat periods).
+STRESS_COLUMNS = 20
+STRESS_ROWS = 5
+STRESS_TASK_COST = 0.008
+STRESS_QUEUE_LIMIT = 64
+
+
+def _stress_scenario(**overrides) -> TankScenario:
+    base = TankScenario(columns=STRESS_COLUMNS, rows=STRESS_ROWS,
+                        task_cost=STRESS_TASK_COST,
+                        cpu_queue_limit=STRESS_QUEUE_LIMIT,
+                        with_base_station=False, base_loss_rate=0.05)
+    return replace(base, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — tracked tank trajectory
+# ----------------------------------------------------------------------
+@dataclass
+class Figure3Result:
+    """Real vs tracked trajectory of the §6.1 case-study run."""
+
+    run: TankRunResult
+
+    @property
+    def comparison(self) -> TrajectoryComparison:
+        assert self.run.comparison is not None
+        return self.run.comparison
+
+    def format_table(self) -> str:
+        lines = ["Figure 3 — tracked tank trajectory "
+                 "(real path: y = 0.5, x = speed * t)",
+                 f"{'t (s)':>8} {'tracked (x, y)':>18} "
+                 f"{'real (x, y)':>18} {'error':>7}"]
+        for t, tracked, real in self.comparison.points:
+            err = ((tracked[0] - real[0]) ** 2
+                   + (tracked[1] - real[1]) ** 2) ** 0.5
+            lines.append(f"{t:8.1f} ({tracked[0]:7.2f}, {tracked[1]:5.2f}) "
+                         f"({real[0]:7.2f}, {real[1]:5.2f}) {err:7.2f}")
+        lines.append(f"mean error {self.comparison.mean_error:.3f} grid "
+                     f"units; max {self.comparison.max_error:.3f}")
+        lines.append(self.comparison.ascii_plot())
+        return "\n".join(lines)
+
+
+def figure3(seed: int = 1, speed: float = SPEED_50_KMH,
+            base_loss_rate: float = 0.05) -> Figure3Result:
+    """Reproduce the Figure 3 run: one tank crossing a 10-column grid at
+    y = 0.5, tracked by the Figure 2 program, reports plotted against the
+    real trajectory."""
+    scenario = TankScenario(columns=11, rows=2, speed=speed, seed=seed,
+                            base_loss_rate=base_loss_rate,
+                            report_timer=5.0)
+    run = run_tank_scenario(scenario)
+    if run.comparison is None:
+        raise RuntimeError("base station collected no reports")
+    return Figure3Result(run=run)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — successful handovers vs heartbeat propagation
+# ----------------------------------------------------------------------
+@dataclass
+class Figure4Cell:
+    speed_kmh: int
+    propagate_past_sensing_radius: bool
+    success_pct: float
+    runs: int
+
+
+@dataclass
+class Figure4Result:
+    cells: List[Figure4Cell]
+
+    def cell(self, speed_kmh: int, propagate: bool) -> Figure4Cell:
+        for cell in self.cells:
+            if (cell.speed_kmh == speed_kmh
+                    and cell.propagate_past_sensing_radius == propagate):
+                return cell
+        raise KeyError((speed_kmh, propagate))
+
+    def format_table(self) -> str:
+        lines = ["Figure 4 — % successful context label handovers",
+                 f"{'setting':>38} {'33 km/hr':>9} {'50 km/hr':>9}"]
+        for propagate, label in ((True, "propagate past sensing radius"),
+                                 (False, "heartbeats within radius only")):
+            row = [f"{label:>38}"]
+            for kmh in (33, 50):
+                row.append(f"{self.cell(kmh, propagate).success_pct:8.1f}%")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def figure4(repetitions: int = 3, seed_base: int = 40,
+            quick: bool = False) -> Figure4Result:
+    """Handover success for two speeds × two heartbeat reach settings.
+
+    Setting 1 limits heartbeat transmit range to the sensing radius (new
+    sensors ahead of the target never hear the leader); setting 2 extends
+    it one hop past the sensing radius, which §6.1 found sufficient for
+    100% successful handovers.
+    """
+    if quick:
+        repetitions = 1
+    sensing_radius = 1.0
+    cells = []
+    for speed, kmh in ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50)):
+        for propagate in (False, True):
+            reach = sensing_radius + (1.0 if propagate else 0.0)
+            successes = 0
+            failures = 0
+            for rep in range(repetitions):
+                # member_rebroadcast off isolates heartbeat *reach*: with
+                # the flood on, perimeter members would relay heartbeats
+                # one radio hop past the group in both settings and the
+                # contrast the paper measures would disappear.  The soft
+                # reception edge makes links near the reach limit flaky
+                # (as on the testbed's real radios), which is what gives
+                # slower targets more chances to hear a marginal
+                # heartbeat — the paper's speed effect.
+                scenario = TankScenario(
+                    columns=12 if quick else 16, rows=3,
+                    speed=speed, sensing_radius=sensing_radius,
+                    heartbeat_tx_range=reach,
+                    member_rebroadcast=False,
+                    soft_edge_start=0.5, soft_edge_loss=0.9,
+                    base_loss_rate=0.03,
+                    with_base_station=False,
+                    seed=seed_base + 100 * kmh + rep)
+                run = run_tank_scenario(scenario)
+                successes += run.handovers.successful_handovers
+                failures += run.handovers.failed_handovers
+            total = successes + failures
+            pct = 100.0 * successes / total if total else 0.0
+            cells.append(Figure4Cell(
+                speed_kmh=kmh, propagate_past_sensing_radius=propagate,
+                success_pct=pct, runs=repetitions))
+    return Figure4Result(cells=cells)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — communication performance data
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    speed_kmh: int
+    metrics: CommunicationMetrics
+    coherent_runs: int
+    runs: int
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+    def row(self, speed_kmh: int) -> Table1Row:
+        for row in self.rows:
+            if row.speed_kmh == speed_kmh:
+                return row
+        raise KeyError(speed_kmh)
+
+    def format_table(self) -> str:
+        lines = ["Table 1 — communication performance data "
+                 "(avg of independent runs)",
+                 f"{'Speed':>9} {'% HB loss':>10} {'% Msg loss':>11} "
+                 f"{'% Link util':>12}"]
+        for row in self.rows:
+            m = row.metrics
+            lines.append(f"{row.speed_kmh:>6} km/hr "
+                         f"{m.heartbeat_loss_pct:9.2f} "
+                         f"{m.report_loss_pct:10.2f} "
+                         f"{m.link_utilization_pct:11.2f}")
+        return "\n".join(lines)
+
+
+def table1(repetitions: int = 3, seed_base: int = 10,
+           quick: bool = False) -> Table1Result:
+    """Communication metrics of the correct (propagating) configuration at
+    the two emulated tank speeds, averaged over independent runs."""
+    if quick:
+        repetitions = 1
+    rows = []
+    for speed, kmh in ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50)):
+        samples = []
+        coherent = 0
+        for rep in range(repetitions):
+            scenario = TankScenario(
+                columns=10 if quick else 12, rows=2, speed=speed,
+                seed=seed_base + 100 * kmh + rep)
+            run = run_tank_scenario(scenario)
+            samples.append(run.communication)
+            coherent += int(run.coherent)
+        rows.append(Table1Row(speed_kmh=kmh,
+                              metrics=mean_metrics(samples),
+                              coherent_runs=coherent, runs=repetitions))
+    return Table1Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — max trackable speed vs heartbeat period
+# ----------------------------------------------------------------------
+@dataclass
+class Figure5Point:
+    heartbeat_period: float
+    sensing_radius: float
+    mode: str  # 'takeover' or 'relinquish'
+    search: SpeedSearchResult
+
+    @property
+    def max_speed(self) -> float:
+        return self.search.max_trackable_speed
+
+
+@dataclass
+class Figure5Result:
+    points: List[Figure5Point]
+
+    def series(self, sensing_radius: float, mode: str
+               ) -> List[Tuple[float, float]]:
+        return sorted((p.heartbeat_period, p.max_speed)
+                      for p in self.points
+                      if p.sensing_radius == sensing_radius
+                      and p.mode == mode)
+
+    def format_table(self) -> str:
+        lines = ["Figure 5 — max trackable speed (hops/s) vs heartbeat "
+                 "period (s), CR = 6 grids"]
+        radii = sorted({p.sensing_radius for p in self.points})
+        modes = sorted({p.mode for p in self.points})
+        periods = sorted({p.heartbeat_period for p in self.points})
+        header = f"{'HB period':>10}" + "".join(
+            f" {f'SR={r} {m}':>16}" for r in radii for m in modes)
+        lines.append(header)
+        table: Dict[Tuple[float, float, str], float] = {
+            (p.heartbeat_period, p.sensing_radius, p.mode): p.max_speed
+            for p in self.points}
+        for period in periods:
+            row = [f"{period:>10.4g}"]
+            for radius in radii:
+                for mode in modes:
+                    value = table.get((period, radius, mode))
+                    row.append(f"{value:>16.2f}" if value is not None
+                               else f"{'—':>16}")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def figure5(heartbeat_periods: Optional[Sequence[float]] = None,
+            sensing_radii: Sequence[float] = (1.0, 2.0),
+            speeds: Optional[Sequence[float]] = None,
+            repetitions: int = 3, seed_base: int = 50,
+            include_relinquish: bool = True,
+            quick: bool = False) -> Figure5Result:
+    """Max trackable speed vs heartbeat period.
+
+    The worst case ("takeover") disables the relinquish optimization, so
+    every handover relies on the receive timer — the curve rises as the
+    period shrinks, then collapses when heartbeat-flood processing
+    overloads the motes.  The "relinquish" reference is flat with respect
+    to the heartbeat period, as in the paper.
+    """
+    if heartbeat_periods is None:
+        heartbeat_periods = ((0.25, 1.0) if quick else
+                             (0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0, 2.0))
+    if speeds is None:
+        speeds = ((0.5, 1.0, 2.0) if quick else
+                  (0.5, 1.0, 2.0, 3.0, 4.0, 5.0))
+    if quick:
+        repetitions = 1
+    # The relinquish reference is flat w.r.t. the heartbeat period, so
+    # three sample periods suffice to demonstrate it (and keep the full
+    # bench's runtime within minutes).
+    relinquish_periods = ((heartbeat_periods[:1]) if quick else
+                          tuple(heartbeat_periods[1::2]) or
+                          tuple(heartbeat_periods[:1]))
+    points = []
+    for radius in sensing_radii:
+        for period in heartbeat_periods:
+            def probe(speed: float, seed: int, _r=radius,
+                      _p=period) -> bool:
+                scenario = _stress_scenario(
+                    speed=speed, sensing_radius=_r, heartbeat_period=_p,
+                    relinquish=False, seed=seed)
+                return run_tank_scenario(scenario).coherent
+
+            search = max_trackable_speed(probe, speeds,
+                                         repetitions=repetitions,
+                                         seed_base=seed_base)
+            points.append(Figure5Point(heartbeat_period=period,
+                                       sensing_radius=radius,
+                                       mode="takeover", search=search))
+        if include_relinquish:
+            for period in relinquish_periods:
+                def probe_relinquish(speed: float, seed: int, _r=radius,
+                                     _p=period) -> bool:
+                    scenario = _stress_scenario(
+                        speed=speed, sensing_radius=_r,
+                        heartbeat_period=_p, relinquish=True, seed=seed)
+                    return run_tank_scenario(scenario).coherent
+
+                search = max_trackable_speed(probe_relinquish, speeds,
+                                             repetitions=repetitions,
+                                             seed_base=seed_base + 7)
+                points.append(Figure5Point(heartbeat_period=period,
+                                           sensing_radius=radius,
+                                           mode="relinquish",
+                                           search=search))
+    return Figure5Result(points=points)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — max trackable speed vs CR:SR ratio
+# ----------------------------------------------------------------------
+@dataclass
+class Figure6Point:
+    ratio: float
+    sensing_radius: float
+    search: SpeedSearchResult
+
+    @property
+    def max_speed(self) -> float:
+        return self.search.max_trackable_speed
+
+
+@dataclass
+class Figure6Result:
+    points: List[Figure6Point]
+
+    def series(self, sensing_radius: float) -> List[Tuple[float, float]]:
+        return sorted((p.ratio, p.max_speed) for p in self.points
+                      if p.sensing_radius == sensing_radius)
+
+    def format_table(self) -> str:
+        lines = ["Figure 6 — max trackable speed (hops/s) vs CR:SR ratio "
+                 "(relinquish on)"]
+        radii = sorted({p.sensing_radius for p in self.points})
+        ratios = sorted({p.ratio for p in self.points})
+        lines.append(f"{'CR:SR':>7}" + "".join(
+            f" {f'SR={r}':>10}" for r in radii))
+        table = {(p.ratio, p.sensing_radius): p.max_speed
+                 for p in self.points}
+        for ratio in ratios:
+            row = [f"{ratio:>7.2f}"]
+            for radius in radii:
+                value = table.get((ratio, radius))
+                row.append(f"{value:>10.2f}" if value is not None
+                           else f"{'—':>10}")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def figure6(ratios: Optional[Sequence[float]] = None,
+            sensing_radii: Sequence[float] = (1.5, 2.0, 3.0),
+            speeds: Optional[Sequence[float]] = None,
+            repetitions: int = 3, seed_base: int = 60,
+            quick: bool = False) -> Figure6Result:
+    """Max trackable speed vs the communication:sensing radius ratio.
+
+    Uses the relinquish optimization ("to improve performance").  For a
+    given ratio larger events are trackable at faster speeds (fewer
+    handovers per distance), and the architecture breaks down when the
+    ratio falls below 1 because concurrently-sensing nodes outside the
+    leader's radio range form spurious groups.
+    """
+    if ratios is None:
+        ratios = (1.0, 3.0) if quick else (0.7, 1.0, 1.5, 2.0, 3.0)
+    if speeds is None:
+        speeds = ((0.5, 1.0) if quick else
+                  (0.5, 1.0, 2.0, 4.0, 6.0, 8.0))
+    if quick:
+        repetitions = 1
+        sensing_radii = sensing_radii[:2]
+    points = []
+    for radius in sensing_radii:
+        for ratio in ratios:
+            comm_radius = ratio * radius
+
+            def probe(speed: float, seed: int, _r=radius,
+                      _cr=comm_radius) -> bool:
+                # member_rebroadcast off: the heartbeat's reach is the
+                # leader's single broadcast (CR), so nodes sensing the
+                # event beyond the leader's radio range really are blind
+                # to the existing label — the breakdown §6.2 describes.
+                scenario = _stress_scenario(
+                    speed=speed, sensing_radius=_r,
+                    communication_radius=_cr, relinquish=True, seed=seed,
+                    member_rebroadcast=False,
+                    task_cost=0.001, cpu_queue_limit=64)
+                return run_tank_scenario(scenario).coherent
+
+            search = max_trackable_speed(probe, speeds,
+                                         repetitions=repetitions,
+                                         seed_base=seed_base)
+            points.append(Figure6Point(ratio=ratio, sensing_radius=radius,
+                                       search=search))
+    return Figure6Result(points=points)

@@ -1,0 +1,19 @@
+"""Group management: context-label coherence without consistent views."""
+
+from .config import GroupConfig
+from .messages import (HEARTBEAT_KIND, RELINQUISH_KIND, Heartbeat,
+                       Relinquish, label_type, mint_label)
+from .protocol import GroupListener, GroupManager, Role
+
+__all__ = [
+    "GroupConfig",
+    "GroupListener",
+    "GroupManager",
+    "HEARTBEAT_KIND",
+    "Heartbeat",
+    "RELINQUISH_KIND",
+    "Relinquish",
+    "Role",
+    "label_type",
+    "mint_label",
+]

@@ -1,0 +1,132 @@
+"""Group-management wire messages and context-label identity.
+
+A *context label* is the persistent identity of a tracked entity (§3.2):
+"even though the vehicles move and the sensor nodes comprising their
+corresponding objects will change, the context labels will not".  Labels
+are minted by the node that first detects an unclaimed stimulus; the id
+embeds the context type, the creator and a creation sequence number, so
+labels are globally unique without coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Frame kinds.
+HEARTBEAT_KIND = "gm.heartbeat"
+RELINQUISH_KIND = "gm.relinquish"
+
+
+def mint_label(context_type: str, creator: int, sequence: int) -> str:
+    """Create a globally unique context label id.
+
+    Uniqueness comes from (creator, per-creator sequence), with no global
+    state: any two nodes mint distinct labels, and the same node's labels
+    are ordered.  Keeping the sequence per-creator (not process-global)
+    makes label names deterministic per seed even across multiple
+    simulations in one process.
+    """
+    return f"{context_type}#{creator}.{sequence}"
+
+
+def label_type(label: str) -> str:
+    """Extract the context type from a label id."""
+    return label.split("#", 1)[0]
+
+
+@dataclass
+class Heartbeat:
+    """Leader keep-alive (§5.2).
+
+    Carries everything the protocol piggybacks on heartbeats: the leader's
+    identity, the label's weight (for spurious-label suppression), optional
+    persistent application state (the ``setState`` mechanism), and a
+    remaining flood hop count for propagation past the group perimeter.
+    """
+
+    context_type: str
+    label: str
+    leader: int
+    weight: int
+    seq: int
+    state: Optional[Dict[str, Any]] = None
+    hops: int = 0
+    #: Leader's field position at send time.  Cross-label decisions
+    #: (spurious-label suppression, member switching) use it to check that
+    #: two labels plausibly track the *same* physical stimulus — distant
+    #: same-type groups must "remain distinct ... as long as the tracked
+    #: entities are physically separated".
+    leader_pos: Optional[tuple] = None
+    #: Original sender when forwarded by a member (for tracing).
+    forwarded_by: Optional[int] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context_type": self.context_type,
+            "label": self.label,
+            "leader": self.leader,
+            "weight": self.weight,
+            "seq": self.seq,
+            "state": self.state,
+            "hops": self.hops,
+            "leader_pos": (None if self.leader_pos is None
+                           else [self.leader_pos[0], self.leader_pos[1]]),
+            "forwarded_by": self.forwarded_by,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> Optional["Heartbeat"]:
+        """Parse; None when malformed (never crash on corrupt frames)."""
+        try:
+            raw_pos = payload.get("leader_pos")
+            leader_pos = (None if raw_pos is None
+                          else (float(raw_pos[0]), float(raw_pos[1])))
+            return cls(
+                context_type=payload["context_type"],
+                label=payload["label"],
+                leader=int(payload["leader"]),
+                weight=int(payload["weight"]),
+                seq=int(payload["seq"]),
+                state=payload.get("state"),
+                hops=int(payload.get("hops", 0)),
+                leader_pos=leader_pos,
+                forwarded_by=payload.get("forwarded_by"),
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+
+
+@dataclass
+class Relinquish:
+    """Explicit leadership handoff request, sent when the leader no longer
+    senses the tracked entity (§5.2's relinquish mechanism)."""
+
+    context_type: str
+    label: str
+    leader: int
+    weight: int
+    state: Optional[Dict[str, Any]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context_type": self.context_type,
+            "label": self.label,
+            "leader": self.leader,
+            "weight": self.weight,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]
+                     ) -> Optional["Relinquish"]:
+        try:
+            return cls(
+                context_type=payload["context_type"],
+                label=payload["label"],
+                leader=int(payload["leader"]),
+                weight=int(payload["weight"]),
+                state=payload.get("state"),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None

@@ -1,0 +1,37 @@
+"""The EnviroTrack context definition language (§4, Appendix A)."""
+
+from .ast import (AggregateDecl, ContextDecl, FunctionDecl, InvocationSpec,
+                  ObjectDecl, Program)
+from .compiler import (CompileError, EvalError, compile_condition,
+                       compile_context, compile_program, compile_source)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, parse_source
+from .printer import format_context, format_expr, format_program
+from .stdlib import DEFAULT_LIBRARY, SenseLibrary, default_library
+
+__all__ = [
+    "AggregateDecl",
+    "CompileError",
+    "ContextDecl",
+    "DEFAULT_LIBRARY",
+    "EvalError",
+    "FunctionDecl",
+    "InvocationSpec",
+    "LexError",
+    "ObjectDecl",
+    "ParseError",
+    "Parser",
+    "Program",
+    "SenseLibrary",
+    "Token",
+    "compile_condition",
+    "compile_context",
+    "compile_program",
+    "compile_source",
+    "default_library",
+    "format_context",
+    "format_expr",
+    "format_program",
+    "parse_source",
+    "tokenize",
+]

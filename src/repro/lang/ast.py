@@ -1,0 +1,164 @@
+"""AST for the EnviroTrack context definition language (Appendix A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Literal:
+    """Number / string / boolean literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Name:
+    """A bare identifier: aggregate variable, local, or symbolic name."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class SelfLabel:
+    """The ``self:label`` handle of the enclosing context."""
+
+
+@dataclass(frozen=True)
+class Call:
+    """``fn(arg, …)`` — sense function, builtin, or sensor read."""
+
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """``expr.attr`` (e.g. ``location.valid``)."""
+
+    base: "Expr"
+    attr: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """``expr[i]`` (e.g. ``location[0]``)."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``not x`` / ``-x``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operation: comparisons, arithmetic, and/or."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Literal, Name, SelfLabel, Call, Attribute, Index, Unary,
+             Binary]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallStatement:
+    call: Call
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``name = expr;`` — object-local scratch variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    condition: Expr
+    then_body: Tuple["Statement", ...]
+    else_body: Tuple["Statement", ...] = ()
+
+
+Statement = Union[CallStatement, Assignment, IfStatement]
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InvocationSpec:
+    """``invocation:`` clause — TIMER(p), PORT(n) or a condition expr."""
+
+    kind: str  # 'timer' | 'port' | 'when'
+    period: Optional[float] = None
+    port: Optional[int] = None
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    name: str
+    invocation: InvocationSpec
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ObjectDecl:
+    name: str
+    functions: Tuple[FunctionDecl, ...]
+    #: Appendix A's ``data declaration``: object-local variables with
+    #: initial values, seeded into the object's locals on leader start.
+    data: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class AggregateDecl:
+    """``location : avg(position) confidence=2, freshness=1s``."""
+
+    name: str
+    function: str
+    sensors: Tuple[str, ...]
+    attributes: Tuple[Tuple[str, object], ...]
+
+    def attribute(self, name: str, default: object = None) -> object:
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass
+class ContextDecl:
+    name: str
+    activation: Expr
+    deactivation: Optional[Expr] = None
+    aggregates: List[AggregateDecl] = field(default_factory=list)
+    objects: List[ObjectDecl] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    contexts: List[ContextDecl] = field(default_factory=list)
+
+    def context(self, name: str) -> ContextDecl:
+        for decl in self.contexts:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no context named {name!r}")

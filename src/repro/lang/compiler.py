@@ -1,0 +1,371 @@
+"""Compiler from EnviroTrack programs to runtime declarations.
+
+Plays the role of the paper's preprocessor (§5.1): it takes a parsed
+context description and emits the structures the middleware initializes
+from — :class:`ContextTypeDef` with compiled activation conditions,
+:class:`AggregateVarSpec` QoS declarations, and tracking-object methods
+whose bodies run in a small interpreter against the
+:class:`ObjectContext`.  References to aggregate state variables become
+middleware reads "in accordance with [their] specified tracking QoS",
+exactly as the preprocessor patches NesC templates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..aggregation import AggregateVarSpec
+from ..core import (ContextTypeDef, MethodDef, PortInvocation,
+                    TimerInvocation, TrackingObjectDef, WhenInvocation)
+from ..core.runtime import ObjectContext
+from ..groups import GroupConfig
+from ..node import Mote
+from .ast import (AggregateDecl, Assignment, Attribute, Binary, Call,
+                  CallStatement, ContextDecl, Expr, FunctionDecl,
+                  IfStatement, Index, Literal, Name, ObjectDecl, Program,
+                  SelfLabel, Statement, Unary)
+from .parser import parse_source
+from .stdlib import DEFAULT_LIBRARY, SenseLibrary
+
+
+class CompileError(ValueError):
+    """Raised for semantic errors in an otherwise well-formed program."""
+
+
+class EvalError(RuntimeError):
+    """Raised when a body/condition cannot be evaluated at run time."""
+
+
+#: Attributes accepted on aggregate variable declarations.
+_KNOWN_ATTRIBUTES = {"confidence", "freshness"}
+
+
+# ----------------------------------------------------------------------
+# Activation-condition evaluation (node scope: the local mote)
+# ----------------------------------------------------------------------
+def _eval_node_expr(expr: Expr, mote: Mote, library: SenseLibrary) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Call):
+        args = [_eval_node_expr(arg, mote, library) for arg in expr.args]
+        if expr.name in library:
+            return library.get(expr.name)(mote, *args)
+        if mote.has_sensor(expr.name):
+            return mote.read_sensor(expr.name)
+        raise LookupError(
+            f"unknown sense function or sensor {expr.name!r}")
+    if isinstance(expr, Name):
+        if mote.has_sensor(expr.ident):
+            return mote.read_sensor(expr.ident)
+        raise LookupError(f"unknown sensor {expr.ident!r}")
+    if isinstance(expr, Unary):
+        operand = _eval_node_expr(expr.operand, mote, library)
+        return (not operand) if expr.op == "not" else -operand
+    if isinstance(expr, Binary):
+        return _eval_binary(
+            expr, lambda e: _eval_node_expr(e, mote, library))
+    if isinstance(expr, Index):
+        base = _eval_node_expr(expr.base, mote, library)
+        return base[int(_eval_node_expr(expr.index, mote, library))]
+    raise EvalError(f"expression not allowed in activation: {expr!r}")
+
+
+def _eval_binary(expr: Binary, evaluate: Callable[[Expr], Any]) -> Any:
+    op = expr.op
+    if op == "and":
+        left = evaluate(expr.left)
+        return evaluate(expr.right) if left else left
+    if op == "or":
+        left = evaluate(expr.left)
+        return left if left else evaluate(expr.right)
+    left = evaluate(expr.left)
+    right = evaluate(expr.right)
+    # Null-propagation: an invalid aggregate read (None) makes comparisons
+    # false and arithmetic null, so DSL conditions treat "not positively
+    # confirmed" as simply not satisfied.
+    if op in ("<", ">", "<=", ">=", "==", "!="):
+        if left is None or right is None:
+            return op == "!=" and not (left is None and right is None)
+        return {"<": left < right, ">": left > right,
+                "<=": left <= right, ">=": left >= right,
+                "==": left == right, "!=": left != right}[op]
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    raise EvalError(f"unknown operator {op!r}")
+
+
+def compile_condition(expr: Expr,
+                      library: SenseLibrary) -> Callable[[Mote], bool]:
+    """Compile an activation/deactivation condition to a mote predicate.
+
+    Missing sensors read as False rather than crashing a sensing check —
+    heterogeneous deployments leave some motes without some sensors.
+    """
+
+    def condition(mote: Mote) -> bool:
+        try:
+            return bool(_eval_node_expr(expr, mote, library))
+        except LookupError:
+            return False
+
+    return condition
+
+
+# ----------------------------------------------------------------------
+# Object-scope evaluation (leader scope: the ObjectContext)
+# ----------------------------------------------------------------------
+class _BodyEvaluator:
+    """Interprets method bodies and invocation conditions on a leader."""
+
+    def __init__(self, ctx: ObjectContext,
+                 extra: Optional[Dict[str, Any]] = None) -> None:
+        self.ctx = ctx
+        self.extra = extra or {}
+
+    # -- expressions ---------------------------------------------------
+    def eval(self, expr: Expr) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, SelfLabel):
+            return self.ctx.label
+        if isinstance(expr, Name):
+            return self._resolve_name(expr.ident)
+        if isinstance(expr, Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, Index):
+            base = self.eval(expr.base)
+            if base is None:
+                return None
+            return base[int(self.eval(expr.index))]
+        if isinstance(expr, Unary):
+            operand = self.eval(expr.operand)
+            if expr.op == "not":
+                return not operand
+            return None if operand is None else -operand
+        if isinstance(expr, Binary):
+            return _eval_binary(expr, self.eval)
+        if isinstance(expr, Call):
+            return self._eval_call(expr)
+        raise EvalError(f"cannot evaluate {expr!r}")
+
+    def _resolve_name(self, ident: str) -> Any:
+        if ident in self.extra:
+            return self.extra[ident]
+        if ident in self.ctx.locals:
+            return self.ctx.locals[ident]
+        if ident in self.ctx.aggregate_names():
+            return self.ctx.value(ident)
+        # Symbolic constant (e.g. the ``pursuer`` destination in MySend).
+        return ident
+
+    def _eval_attribute(self, expr: Attribute) -> Any:
+        if isinstance(expr.base, Name) \
+                and expr.base.ident in self.ctx.aggregate_names():
+            result = self.ctx.read(expr.base.ident)
+            if expr.attr == "valid":
+                return result.valid
+            if expr.attr == "value":
+                return result.value
+            if expr.attr == "contributors":
+                return result.contributors
+            raise EvalError(
+                f"unknown aggregate attribute {expr.attr!r}")
+        base = self.eval(expr.base)
+        if isinstance(base, dict):
+            return base.get(expr.attr)
+        raise EvalError(f"cannot read attribute {expr.attr!r} of {base!r}")
+
+    # -- builtin calls ---------------------------------------------------
+    def _eval_call(self, call: Call) -> Any:
+        name = call.name
+        if name == "MySend":
+            return self._builtin_my_send(call.args)
+        if name == "setState":
+            return self._builtin_set_state(call.args)
+        if name == "invoke":
+            return self._builtin_invoke(call.args)
+        if name == "log":
+            values = {f"value{i}": self.eval(arg)
+                      for i, arg in enumerate(call.args)}
+            self.ctx.log("dsl", **values)
+            return None
+        if name == "valid":
+            return self._qos_arg(call.args, "valid").valid
+        if name == "read":
+            result = self._qos_arg(call.args, "read")
+            return result.value if result.valid else None
+        if name == "contributors":
+            return self._qos_arg(call.args, "contributors").contributors
+        raise EvalError(f"unknown function {name!r} in object body")
+
+    def _qos_arg(self, args: Sequence[Expr], fn: str):
+        if len(args) != 1 or not isinstance(args[0], Name):
+            raise EvalError(f"{fn}() takes one aggregate variable name")
+        return self.ctx.read(args[0].ident)
+
+    def _builtin_my_send(self, args: Sequence[Expr]) -> None:
+        """``MySend(pursuer, self:label, location, …)`` (Figure 2)."""
+        if len(args) < 2:
+            raise EvalError("MySend(dest, self:label, values...)")
+        values: Dict[str, Any] = {}
+        for i, arg in enumerate(args[2:]):
+            if isinstance(arg, Name):
+                values[arg.ident] = self.eval(arg)
+            else:
+                values[f"value{i}"] = self.eval(arg)
+        self.ctx.my_send(values)
+
+    def _builtin_set_state(self, args: Sequence[Expr]) -> None:
+        """``setState(key1, value1, key2, value2, …)``."""
+        if len(args) % 2 != 0:
+            raise EvalError("setState() takes key/value pairs")
+        state: Dict[str, Any] = dict(self.ctx.state or {})
+        for key_expr, value_expr in zip(args[::2], args[1::2]):
+            if isinstance(key_expr, Name):
+                key = key_expr.ident
+            else:
+                key = str(self.eval(key_expr))
+            state[key] = self.eval(value_expr)
+        self.ctx.set_state(state)
+
+    def _builtin_invoke(self, args: Sequence[Expr]) -> None:
+        """``invoke(dest_label, port, key1, value1, …)``."""
+        if len(args) < 2 or (len(args) - 2) % 2 != 0:
+            raise EvalError("invoke(dest_label, port, key/value pairs...)")
+        dest = self.eval(args[0])
+        port = int(self.eval(args[1]))
+        payload: Dict[str, Any] = {}
+        for key_expr, value_expr in zip(args[2::2], args[3::2]):
+            key = (key_expr.ident if isinstance(key_expr, Name)
+                   else str(self.eval(key_expr)))
+            payload[key] = self.eval(value_expr)
+        self.ctx.invoke(str(dest), port, payload)
+
+    # -- statements ------------------------------------------------------
+    def execute(self, statements: Sequence[Statement]) -> None:
+        for statement in statements:
+            if isinstance(statement, CallStatement):
+                self._eval_call(statement.call)
+            elif isinstance(statement, Assignment):
+                self.ctx.locals[statement.name] = self.eval(statement.value)
+            elif isinstance(statement, IfStatement):
+                if self.eval(statement.condition):
+                    self.execute(statement.then_body)
+                else:
+                    self.execute(statement.else_body)
+            else:
+                raise EvalError(f"unknown statement {statement!r}")
+
+
+# ----------------------------------------------------------------------
+# Declaration compilation
+# ----------------------------------------------------------------------
+def _compile_aggregate(decl: AggregateDecl,
+                       context_name: str) -> AggregateVarSpec:
+    if len(decl.sensors) != 1:
+        raise CompileError(
+            f"aggregate {decl.name!r} in context {context_name!r}: exactly "
+            f"one sensor supported, got {list(decl.sensors)}")
+    for key, _ in decl.attributes:
+        if key not in _KNOWN_ATTRIBUTES:
+            raise CompileError(
+                f"aggregate {decl.name!r}: unknown attribute {key!r} "
+                f"(expected one of {sorted(_KNOWN_ATTRIBUTES)})")
+    confidence = decl.attribute("confidence", 1)
+    freshness = decl.attribute("freshness", 1.0)
+    try:
+        return AggregateVarSpec(name=decl.name, function=decl.function,
+                                sensor=decl.sensors[0],
+                                confidence=int(confidence),
+                                freshness=float(freshness))
+    except (TypeError, ValueError) as exc:
+        raise CompileError(
+            f"aggregate {decl.name!r}: bad attributes: {exc}") from exc
+
+
+def _compile_method(fn: FunctionDecl) -> MethodDef:
+    spec = fn.invocation
+    if spec.kind == "timer":
+        invocation = TimerInvocation(period=float(spec.period))
+
+        def timer_body(ctx: ObjectContext,
+                       _statements=fn.body) -> None:
+            _BodyEvaluator(ctx).execute(_statements)
+
+        return MethodDef(name=fn.name, invocation=invocation,
+                         body=timer_body)
+    if spec.kind == "port":
+        invocation = PortInvocation(port=int(spec.port))
+
+        def port_body(ctx: ObjectContext, args: Dict[str, Any],
+                      src_label: str, src_port: int,
+                      _statements=fn.body) -> None:
+            extra = {"args": args, "src_label": src_label,
+                     "src_port": src_port}
+            _BodyEvaluator(ctx, extra=extra).execute(_statements)
+
+        return MethodDef(name=fn.name, invocation=invocation,
+                         body=port_body)
+    condition = spec.condition
+    assert condition is not None
+
+    def predicate(ctx: ObjectContext, _expr=condition) -> bool:
+        return bool(_BodyEvaluator(ctx).eval(_expr))
+
+    def when_body(ctx: ObjectContext, _statements=fn.body) -> None:
+        _BodyEvaluator(ctx).execute(_statements)
+
+    return MethodDef(name=fn.name,
+                     invocation=WhenInvocation(predicate=predicate),
+                     body=when_body)
+
+
+def _compile_object(decl: ObjectDecl) -> TrackingObjectDef:
+    return TrackingObjectDef(
+        name=decl.name,
+        methods=[_compile_method(fn) for fn in decl.functions],
+        data=dict(decl.data))
+
+
+def compile_context(decl: ContextDecl,
+                    library: Optional[SenseLibrary] = None,
+                    group: Optional[GroupConfig] = None) -> ContextTypeDef:
+    """Compile one context declaration to a runtime definition."""
+    lib = library or DEFAULT_LIBRARY
+    activation = compile_condition(decl.activation, lib)
+    deactivation = (compile_condition(decl.deactivation, lib)
+                    if decl.deactivation is not None else None)
+    return ContextTypeDef(
+        name=decl.name,
+        activation=activation,
+        deactivation=deactivation,
+        aggregates=[_compile_aggregate(a, decl.name)
+                    for a in decl.aggregates],
+        objects=[_compile_object(o) for o in decl.objects],
+        group=group or GroupConfig(),
+    )
+
+
+def compile_program(program: Program,
+                    library: Optional[SenseLibrary] = None,
+                    group: Optional[GroupConfig] = None
+                    ) -> List[ContextTypeDef]:
+    return [compile_context(decl, library=library, group=group)
+            for decl in program.contexts]
+
+
+def compile_source(source: str,
+                   library: Optional[SenseLibrary] = None,
+                   group: Optional[GroupConfig] = None
+                   ) -> List[ContextTypeDef]:
+    """Parse and compile a full EnviroTrack program."""
+    return compile_program(parse_source(source), library=library,
+                           group=group)

@@ -1,0 +1,170 @@
+"""Lexer for the EnviroTrack context definition language.
+
+Tokenizes programs like Figure 2 of the paper::
+
+    begin context tracker
+        activation: magnetic_sensor_reading()
+        location : avg(position) confidence=2, freshness=1s
+        begin object reporter
+            invocation: TIMER(5s)
+            report_function() {
+                MySend(pursuer, self:label, location);
+            }
+        end
+    end context
+
+Numbers accept time-unit suffixes (``5s``, ``250ms``, ``2min``) and are
+normalized to seconds; bare numbers stay unitless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "begin", "end", "context", "object", "activation", "deactivation",
+    "invocation", "and", "or", "not", "true", "false", "if", "else",
+}
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = ["<=", ">=", "==", "!=", "<", ">", "=", "+", "-", "*", "/",
+             "(", ")", "{", "}", "[", "]", ":", ";", ",", "."]
+
+TIME_UNITS = {"ms": 1e-3, "s": 1.0, "min": 60.0}
+
+
+class LexError(ValueError):
+    """Raised on unknown characters or malformed literals."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'string', 'op', 'eof'
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a full program; always ends with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        # Whitespace
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        # Comments: '//' and '#' to end of line
+        if source.startswith("//", index) or char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        # Identifiers / keywords
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            start_column = column
+            column += index - start
+            # Time-unit check: identifiers can't look like units here
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, text, line, start_column)
+            continue
+        # Numbers (with optional time-unit suffix)
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and source[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            while index < length and (source[index].isdigit()
+                                      or (source[index] == "."
+                                          and not seen_dot)):
+                if source[index] == ".":
+                    seen_dot = True
+                index += 1
+            digits = source[start:index]
+            unit: Optional[str] = None
+            for candidate in ("min", "ms", "s"):
+                if source.startswith(candidate, index):
+                    after = index + len(candidate)
+                    if after >= length or not (source[after].isalnum()
+                                               or source[after] == "_"):
+                        unit = candidate
+                        index = after
+                        break
+            try:
+                value = float(digits)
+            except ValueError:
+                raise error(f"malformed number {digits!r}")
+            if unit is not None:
+                value *= TIME_UNITS[unit]
+            text = digits + (unit or "")
+            start_column = column
+            column += index - start
+            yield Token("number", text, value, line, start_column)
+            continue
+        # Strings
+        if char in "'\"":
+            quote = char
+            start = index
+            index += 1
+            chars = []
+            while index < length and source[index] != quote:
+                if source[index] == "\n":
+                    raise error("unterminated string")
+                chars.append(source[index])
+                index += 1
+            if index >= length:
+                raise error("unterminated string")
+            index += 1
+            text = source[start:index]
+            start_column = column
+            column += index - start
+            yield Token("string", text, "".join(chars), line, start_column)
+            continue
+        # Operators
+        matched = None
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is not None:
+            yield Token("op", matched, matched, line, column)
+            index += len(matched)
+            column += len(matched)
+            continue
+        raise error(f"unexpected character {char!r}")
+    yield Token("eof", "", None, line, column)

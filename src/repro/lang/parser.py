@@ -1,0 +1,389 @@
+"""Recursive-descent parser for the EnviroTrack language.
+
+Implements the Appendix A grammar plus the concrete syntax visible in
+Figure 2: ``begin context``/``end context`` blocks containing an
+``activation:`` condition, aggregate variable declarations with
+``confidence``/``freshness`` attributes, and ``begin object``/``end``
+blocks whose functions carry ``invocation:`` clauses and brace-delimited
+bodies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (AggregateDecl, Assignment, Attribute, Binary, Call,
+                  CallStatement, ContextDecl, Expr, FunctionDecl,
+                  IfStatement, Index, InvocationSpec, Literal, Name,
+                  ObjectDecl, Program, SelfLabel, Statement, Unary)
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised with line/column context on any syntax error."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(
+            f"{message} (got {token.kind} {token.text!r} at line "
+            f"{token.line}, column {token.column})")
+        self.token = token
+
+
+class Parser:
+    """One-token-lookahead recursive descent parser."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_op(self, text: str) -> Token:
+        if not self._cur.is_op(text):
+            raise ParseError(f"expected {text!r}", self._cur)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._cur.is_keyword(word):
+            raise ParseError(f"expected keyword {word!r}", self._cur)
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if self._cur.kind != "ident":
+            raise ParseError("expected identifier", self._cur)
+        return self._advance().text
+
+    def _accept_op(self, text: str) -> bool:
+        if self._cur.is_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._cur.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        """Parse a whole program (one or more context declarations)."""
+        program = Program()
+        while not self._cur.kind == "eof":
+            program.contexts.append(self.parse_context())
+        if not program.contexts:
+            raise ParseError("empty program", self._cur)
+        return program
+
+    def parse_context(self) -> ContextDecl:
+        """Parse one ``begin context ... end context`` block."""
+        self._expect_keyword("begin")
+        self._expect_keyword("context")
+        name = self._expect_ident()
+        self._expect_keyword("activation")
+        self._expect_op(":")
+        activation = self.parse_expression()
+        self._accept_op(";")
+        deactivation: Optional[Expr] = None
+        if self._accept_keyword("deactivation"):
+            self._expect_op(":")
+            deactivation = self.parse_expression()
+            self._accept_op(";")
+        decl = ContextDecl(name=name, activation=activation,
+                           deactivation=deactivation)
+        while not self._cur.is_keyword("end"):
+            if self._cur.is_keyword("begin"):
+                decl.objects.append(self.parse_object())
+            elif self._cur.kind == "ident":
+                decl.aggregates.append(self.parse_aggregate())
+            else:
+                raise ParseError(
+                    "expected aggregate declaration, object, or 'end'",
+                    self._cur)
+        self._expect_keyword("end")
+        self._expect_keyword("context")
+        return decl
+
+    # ------------------------------------------------------------------
+    # Aggregate variable declaration
+    # ------------------------------------------------------------------
+    def parse_aggregate(self) -> AggregateDecl:
+        """Parse an aggregate state variable declaration."""
+        name = self._expect_ident()
+        self._expect_op(":")
+        function = self._expect_ident()
+        self._expect_op("(")
+        sensors = [self._expect_ident()]
+        while self._accept_op(","):
+            sensors.append(self._expect_ident())
+        self._expect_op(")")
+        attributes: List[Tuple[str, object]] = []
+        if self._cur.kind == "ident":
+            attributes.append(self.parse_attribute())
+            while self._accept_op(","):
+                attributes.append(self.parse_attribute())
+        self._accept_op(";")
+        return AggregateDecl(name=name, function=function,
+                             sensors=tuple(sensors),
+                             attributes=tuple(attributes))
+
+    def parse_attribute(self) -> Tuple[str, object]:
+        """Parse one ``key=value`` attribute."""
+        key = self._expect_ident()
+        self._expect_op("=")
+        token = self._cur
+        if token.kind == "number":
+            self._advance()
+            return (key, token.value)
+        if token.kind in ("ident", "string"):
+            self._advance()
+            return (key, token.value)
+        raise ParseError("expected attribute value", token)
+
+    # ------------------------------------------------------------------
+    # Objects and functions
+    # ------------------------------------------------------------------
+    def parse_object(self) -> ObjectDecl:
+        """Parse a ``begin object ... end`` block (data + functions)."""
+        self._expect_keyword("begin")
+        self._expect_keyword("object")
+        name = self._expect_ident()
+        data: List[Tuple[str, object]] = []
+        # Appendix A: optional data declarations before the functions,
+        # e.g. ``count = 0;``.
+        while (self._cur.kind == "ident"
+               and self._tokens[self._pos + 1].is_op("=")):
+            var_name = self._expect_ident()
+            self._expect_op("=")
+            token = self._cur
+            if token.kind in ("number", "string"):
+                self._advance()
+                value: object = token.value
+            elif token.is_keyword("true"):
+                self._advance()
+                value = True
+            elif token.is_keyword("false"):
+                self._advance()
+                value = False
+            else:
+                raise ParseError("data declarations take literal values",
+                                 token)
+            self._expect_op(";")
+            data.append((var_name, value))
+        functions: List[FunctionDecl] = []
+        while not self._cur.is_keyword("end"):
+            functions.append(self.parse_function())
+        self._expect_keyword("end")
+        if not functions:
+            raise ParseError(f"object {name!r} declares no functions",
+                             self._cur)
+        return ObjectDecl(name=name, functions=tuple(functions),
+                          data=tuple(data))
+
+    def parse_function(self) -> FunctionDecl:
+        """Parse one invocation clause and its function body."""
+        self._expect_keyword("invocation")
+        self._expect_op(":")
+        invocation = self.parse_invocation()
+        name = self._expect_ident()
+        self._expect_op("(")
+        self._expect_op(")")
+        self._expect_op("{")
+        body: List[Statement] = []
+        while not self._cur.is_op("}"):
+            body.append(self.parse_statement())
+        self._expect_op("}")
+        return FunctionDecl(name=name, invocation=invocation,
+                            body=tuple(body))
+
+    def parse_invocation(self) -> InvocationSpec:
+        """Parse ``TIMER(p)``, ``PORT(n)`` or a condition expression."""
+        token = self._cur
+        if token.kind == "ident" and token.text == "TIMER":
+            self._advance()
+            self._expect_op("(")
+            period_token = self._cur
+            if period_token.kind != "number":
+                raise ParseError("TIMER() needs a period", period_token)
+            self._advance()
+            self._expect_op(")")
+            return InvocationSpec(kind="timer",
+                                  period=float(period_token.value))
+        if token.kind == "ident" and token.text == "PORT":
+            self._advance()
+            self._expect_op("(")
+            port_token = self._cur
+            if port_token.kind != "number":
+                raise ParseError("PORT() needs a port number", port_token)
+            self._advance()
+            self._expect_op(")")
+            return InvocationSpec(kind="port",
+                                  port=int(port_token.value))
+        condition = self.parse_expression()
+        return InvocationSpec(kind="when", condition=condition)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        """Parse one body statement (call / assignment / if)."""
+        if self._cur.is_keyword("if"):
+            return self.parse_if()
+        if (self._cur.kind == "ident"
+                and self._tokens[self._pos + 1].is_op("=")):
+            name = self._expect_ident()
+            self._expect_op("=")
+            value = self.parse_expression()
+            self._expect_op(";")
+            return Assignment(name=name, value=value)
+        expr = self.parse_expression()
+        self._expect_op(";")
+        if not isinstance(expr, Call):
+            raise ParseError("expression statements must be calls",
+                             self._cur)
+        return CallStatement(call=expr)
+
+    def parse_if(self) -> IfStatement:
+        """Parse an ``if (...) { ... } else { ... }`` statement."""
+        self._expect_keyword("if")
+        self._expect_op("(")
+        condition = self.parse_expression()
+        self._expect_op(")")
+        self._expect_op("{")
+        then_body: List[Statement] = []
+        while not self._cur.is_op("}"):
+            then_body.append(self.parse_statement())
+        self._expect_op("}")
+        else_body: List[Statement] = []
+        if self._accept_keyword("else"):
+            self._expect_op("{")
+            while not self._cur.is_op("}"):
+                else_body.append(self.parse_statement())
+            self._expect_op("}")
+        return IfStatement(condition=condition,
+                           then_body=tuple(then_body),
+                           else_body=tuple(else_body))
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        """Parse a full expression (lowest precedence level)."""
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._cur.is_keyword("or"):
+            self._advance()
+            left = Binary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._cur.is_keyword("and"):
+            self._advance()
+            left = Binary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._cur.is_keyword("not"):
+            self._advance()
+            return Unary("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self._cur.is_op(op):
+                self._advance()
+                return Binary(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._cur.is_op("+") or self._cur.is_op("-"):
+            op = self._advance().text
+            left = Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._cur.is_op("*") or self._cur.is_op("/"):
+            op = self._advance().text
+            left = Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._cur.is_op("-"):
+            self._advance()
+            return Unary("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._cur.is_op("."):
+                self._advance()
+                expr = Attribute(base=expr, attr=self._expect_ident())
+            elif self._cur.is_op("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_op("]")
+                expr = Index(base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._cur
+        if token.kind == "number" or token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_op("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            name = self._advance().text
+            if name == "self" and self._cur.is_op(":"):
+                self._advance()
+                attr = self._expect_ident()
+                if attr != "label":
+                    raise ParseError(
+                        f"unknown self attribute {attr!r}", token)
+                return SelfLabel()
+            if self._cur.is_op("("):
+                self._advance()
+                args: List[Expr] = []
+                if not self._cur.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self._accept_op(","):
+                        args.append(self.parse_expression())
+                self._expect_op(")")
+                return Call(name=name, args=tuple(args))
+            return Name(ident=name)
+        raise ParseError("expected expression", token)
+
+
+def parse_source(source: str) -> Program:
+    """Convenience: tokenize and parse a full program."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,148 @@
+"""Pretty-printer: EnviroTrack AST back to canonical source.
+
+Useful for tooling (normalizing hand-written programs, golden tests) and
+as the executable definition of the concrete syntax: for every program,
+``parse(print(parse(text)))`` equals ``parse(text)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (AggregateDecl, Assignment, Attribute, Binary, Call,
+                  CallStatement, ContextDecl, Expr, FunctionDecl,
+                  IfStatement, Index, InvocationSpec, Literal, Name,
+                  ObjectDecl, Program, SelfLabel, Statement, Unary)
+
+_INDENT = "    "
+
+#: Binding strength for parenthesization (higher binds tighter).
+_PRECEDENCE = {
+    "or": 1, "and": 2,
+    "<": 4, ">": 4, "<=": 4, ">=": 4, "==": 4, "!=": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6,
+}
+
+
+def format_value(value: object) -> str:
+    """Render a literal the lexer will read back identically."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "") + "'"
+    return str(value)
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    if isinstance(expr, Literal):
+        return format_value(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, SelfLabel):
+        return "self:label"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Attribute):
+        return f"{format_expr(expr.base, 9)}.{expr.attr}"
+    if isinstance(expr, Index):
+        return f"{format_expr(expr.base, 9)}[{format_expr(expr.index)}]"
+    if isinstance(expr, Unary):
+        operand = format_expr(expr.operand, 8)
+        if expr.op == "not":
+            return f"not {operand}"
+        return f"-{operand}"
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, precedence)
+        right = format_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot format {expr!r}")
+
+
+def _format_statement(statement: Statement, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(statement, CallStatement):
+        return [f"{pad}{format_expr(statement.call)};"]
+    if isinstance(statement, Assignment):
+        return [f"{pad}{statement.name} = "
+                f"{format_expr(statement.value)};"]
+    if isinstance(statement, IfStatement):
+        lines = [f"{pad}if ({format_expr(statement.condition)}) {{"]
+        for inner in statement.then_body:
+            lines.extend(_format_statement(inner, depth + 1))
+        if statement.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in statement.else_body:
+                lines.extend(_format_statement(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot format {statement!r}")
+
+
+def _format_invocation(spec: InvocationSpec) -> str:
+    if spec.kind == "timer":
+        return f"TIMER({format_value(spec.period)}s)"
+    if spec.kind == "port":
+        return f"PORT({spec.port})"
+    assert spec.condition is not None
+    return format_expr(spec.condition)
+
+
+def _format_function(fn: FunctionDecl, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}invocation: {_format_invocation(fn.invocation)}",
+             f"{pad}{fn.name}() {{"]
+    for statement in fn.body:
+        lines.extend(_format_statement(statement, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _format_object(obj: ObjectDecl, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}begin object {obj.name}"]
+    for name, value in obj.data:
+        lines.append(f"{pad}{_INDENT}{name} = {format_value(value)};")
+    for fn in obj.functions:
+        lines.extend(_format_function(fn, depth + 1))
+    lines.append(f"{pad}end")
+    return lines
+
+
+def _format_aggregate(decl: AggregateDecl, depth: int) -> str:
+    pad = _INDENT * depth
+    sensors = ", ".join(decl.sensors)
+    parts = [f"{pad}{decl.name} : {decl.function}({sensors})"]
+    attributes = ", ".join(
+        f"{key}={format_value(value)}" for key, value in decl.attributes)
+    if attributes:
+        parts.append(" " + attributes)
+    return "".join(parts)
+
+
+def format_context(decl: ContextDecl) -> str:
+    lines = [f"begin context {decl.name}",
+             f"{_INDENT}activation: {format_expr(decl.activation)}"]
+    if decl.deactivation is not None:
+        lines.append(
+            f"{_INDENT}deactivation: {format_expr(decl.deactivation)}")
+    for aggregate in decl.aggregates:
+        lines.append(_format_aggregate(aggregate, 1))
+    for obj in decl.objects:
+        lines.extend(_format_object(obj, 1))
+    lines.append("end context")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as canonical source."""
+    return "\n\n".join(format_context(decl)
+                       for decl in program.contexts) + "\n"

@@ -1,0 +1,78 @@
+"""Sense-function standard library.
+
+"EnviroTrack contains a library of such functions for the programmer to
+choose from.  New user-defined functions can be easily added by application
+developers."  A :class:`SenseLibrary` maps the function names usable in
+``activation:`` conditions to callables over the local mote; the defaults
+bridge to the sensor kits :class:`repro.sensing.SensorField` installs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..node import Mote
+
+SenseFunction = Callable[..., Any]
+
+
+class SenseLibrary:
+    """Named sense functions available to DSL activation conditions."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, SenseFunction] = {}
+
+    def register(self, name: str, fn: SenseFunction,
+                 replace: bool = False) -> None:
+        if not replace and name in self._functions:
+            raise ValueError(f"sense function {name!r} already registered")
+        self._functions[name] = fn
+
+    def register_sensor_alias(self, name: str, sensor: str) -> None:
+        """Expose ``sensor`` under the DSL function name ``name``."""
+
+        def read(mote: Mote) -> Any:
+            return mote.read_sensor(sensor)
+
+        self.register(name, read)
+
+    def get(self, name: str) -> SenseFunction:
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> List[str]:
+        return sorted(self._functions)
+
+
+def default_library() -> SenseLibrary:
+    """The stock library.
+
+    Detection-style functions (named ``*_sensor_reading`` after the paper's
+    ``magnetic sensor reading()``) read the boolean detector a field kit
+    installs; scalar functions read raw values for threshold conditions
+    like ``temperature() > 180``.
+    """
+    library = SenseLibrary()
+    aliases = {
+        # Figure 2's activation condition.
+        "magnetic_sensor_reading": "magnetic_detect",
+        # The testbed's light-occlusion emulation.
+        "light_sensor_reading": "light_detect",
+        "photo_sensor_reading": "photo_detect",
+        "acoustic_sensor_reading": "acoustic_detect",
+        "motion_sensor_reading": "motion_detect",
+        # Scalar reads for threshold activation conditions.
+        "temperature": "temperature",
+        "light": "light",
+        "magnetic": "magnetic",
+        "position": "position",
+    }
+    for fn_name, sensor in aliases.items():
+        library.register_sensor_alias(fn_name, sensor)
+    return library
+
+
+#: Shared default library instance.
+DEFAULT_LIBRARY = default_library()

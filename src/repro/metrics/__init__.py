@@ -1,0 +1,27 @@
+"""Analysis of finished runs: Table 1, Figures 3–6 metrics."""
+
+from .collectors import (CommunicationMetrics, communication_metrics,
+                         mean_metrics)
+from .handover import (HandoverStats, analyze_handovers,
+                       handoff_latencies, tracking_coverage)
+from .speed_search import (CoherenceProbe, SpeedSearchResult,
+                           max_trackable_speed)
+from .timeline import TimelineSample, TimelineSampler
+from .tracking_error import TrajectoryComparison, compare_track
+
+__all__ = [
+    "TimelineSample",
+    "TimelineSampler",
+    "CoherenceProbe",
+    "CommunicationMetrics",
+    "HandoverStats",
+    "SpeedSearchResult",
+    "TrajectoryComparison",
+    "analyze_handovers",
+    "handoff_latencies",
+    "communication_metrics",
+    "compare_track",
+    "max_trackable_speed",
+    "mean_metrics",
+    "tracking_coverage",
+]

@@ -1,0 +1,78 @@
+"""Maximum-trackable-speed search (Figures 5 and 6).
+
+"The maximum trackable speed is the highest target speed at which the
+single group abstraction is maintained" — i.e. the highest speed at which
+context label coherence holds.  The stress benches evaluate a coherence
+predicate at increasing speeds and report the last speed that passed.
+
+Because individual runs are stochastic (loss, jitter), a speed "passes"
+when a majority of its repetitions are coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+#: Returns True when a run at (speed, seed) maintained coherence.
+CoherenceProbe = Callable[[float, int], bool]
+
+
+@dataclass(frozen=True)
+class SpeedSearchResult:
+    """Outcome of one max-trackable-speed sweep."""
+
+    max_trackable_speed: float
+    evaluated: List[Tuple[float, float]]  # (speed, pass fraction)
+
+    def passed(self, speed: float) -> bool:
+        for s, frac in self.evaluated:
+            if s == speed:
+                return frac >= 0.5
+        raise KeyError(f"speed {speed} was not evaluated")
+
+
+def max_trackable_speed(probe: CoherenceProbe,
+                        speeds: Sequence[float],
+                        repetitions: int = 3,
+                        seed_base: int = 0,
+                        stop_after_failures: int = 2
+                        ) -> SpeedSearchResult:
+    """Sweep ``speeds`` ascending; return the highest coherent speed.
+
+    Parameters
+    ----------
+    probe:
+        Runs one experiment; True iff coherence was maintained.
+    speeds:
+        Candidate speeds in hops/second, ascending.
+    repetitions:
+        Independent runs per speed; majority vote decides.
+    stop_after_failures:
+        Early exit after this many consecutive failing speeds (the curve
+        is monotone in the region of interest; this bounds runtime).
+    """
+    ordered = sorted(speeds)
+    if not ordered:
+        raise ValueError("no speeds to evaluate")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1: {repetitions}")
+    best = 0.0
+    evaluated: List[Tuple[float, float]] = []
+    consecutive_failures = 0
+    for speed_index, speed in enumerate(ordered):
+        passes = 0
+        for rep in range(repetitions):
+            seed = seed_base + 1000 * speed_index + rep
+            if probe(speed, seed):
+                passes += 1
+        fraction = passes / repetitions
+        evaluated.append((speed, fraction))
+        if fraction >= 0.5:
+            best = speed
+            consecutive_failures = 0
+        else:
+            consecutive_failures += 1
+            if consecutive_failures >= stop_after_failures:
+                break
+    return SpeedSearchResult(max_trackable_speed=best, evaluated=evaluated)

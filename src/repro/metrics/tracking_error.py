@@ -1,0 +1,84 @@
+"""Tracking-error analysis (Figure 3).
+
+Figure 3 plots the real target trajectory against the trajectory the base
+station reconstructs from ``MySend`` reports.  "The tracking error occurs
+because our sensors have no notion of proximity to the target.  Moreover,
+direction anomalies occur due to message loss which causes sensor position
+aggregation to use a subset of reporting sensors only."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+Position = Tuple[float, float]
+TrackPoint = Tuple[float, Position]  # (report time, tracked position)
+
+
+@dataclass(frozen=True)
+class TrajectoryComparison:
+    """Real vs tracked trajectory with per-report errors."""
+
+    points: List[Tuple[float, Position, Position]]  # (t, tracked, real)
+
+    @property
+    def errors(self) -> List[float]:
+        return [math.hypot(tracked[0] - real[0], tracked[1] - real[1])
+                for _, tracked, real in self.points]
+
+    @property
+    def mean_error(self) -> float:
+        errs = self.errors
+        if not errs:
+            return float("nan")
+        return sum(errs) / len(errs)
+
+    @property
+    def max_error(self) -> float:
+        errs = self.errors
+        if not errs:
+            return float("nan")
+        return max(errs)
+
+    @property
+    def rms_error(self) -> float:
+        errs = self.errors
+        if not errs:
+            return float("nan")
+        return math.sqrt(sum(e * e for e in errs) / len(errs))
+
+    def ascii_plot(self, width: int = 60, height: int = 12) -> str:
+        """Terminal rendering of Figure 3: '*' tracked, '-' real path."""
+        if not self.points:
+            return "(no reports)"
+        xs = [p[0] for _, tracked, real in self.points
+              for p in (tracked, real)]
+        ys = [p[1] for _, tracked, real in self.points
+              for p in (tracked, real)]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys) - 0.5, max(ys) + 0.5
+        if x_hi - x_lo < 1e-9:
+            x_hi = x_lo + 1.0
+        grid = [[" "] * width for _ in range(height)]
+
+        def plot(p: Position, char: str) -> None:
+            col = int((p[0] - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((p[1] - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = char
+
+        for _, tracked, real in self.points:
+            plot(real, "-")
+        for _, tracked, real in self.points:
+            plot(tracked, "*")
+        return "\n".join("".join(row) for row in grid)
+
+
+def compare_track(track: Sequence[TrackPoint],
+                  real_position: Callable[[float], Position]
+                  ) -> TrajectoryComparison:
+    """Pair each tracked report with the ground-truth position at its
+    report time."""
+    points = [(t, tracked, real_position(t)) for t, tracked in track]
+    return TrajectoryComparison(points=points)

@@ -1,0 +1,221 @@
+"""Object naming and directory services (§5.3).
+
+Every context type hashes to a coordinate; the nodes around that point form
+the *directory object* for the type.  A context label registers itself when
+it "first comes alive", sends occasional location updates, and the
+directory answers queries like "where are all the fires?" with the list of
+active labels and their last known coordinates.
+
+Implementation notes:
+
+* registrations/queries travel over greedy geographic routing
+  (:mod:`repro.transport.routing`);
+* the node nearest the hashed point stores the entry and replicates it to
+  its one-hop neighborhood ("the nodes within one hop of that coordinate
+  are responsible"), so the directory survives single-node failures;
+* entries expire after ``entry_ttl`` without updates — departed labels
+  vanish without explicit deregistration, matching the protocol's
+  soft-state philosophy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..node import Component, Mote
+from ..radio import distance
+from ..transport.routing import GeoRouter
+from .geohash import FieldBounds, hash_to_coordinate
+
+Position = Tuple[float, float]
+
+REGISTER_KIND = "dir.register"
+REPLICATE_KIND = "dir.replicate"
+QUERY_KIND = "dir.query"
+RESPONSE_KIND = "dir.response"
+
+#: Default soft-state lifetime of a directory entry (seconds).
+DEFAULT_ENTRY_TTL = 30.0
+
+
+@dataclass
+class DirectoryEntry:
+    """One active context label known to a directory object."""
+
+    label: str
+    context_type: str
+    location: Position
+    leader: int
+    updated: float
+
+    def fresh(self, now: float, ttl: float) -> bool:
+        return now - self.updated <= ttl
+
+
+class DirectoryService(Component):
+    """Directory participant running on every mote.
+
+    Parameters
+    ----------
+    mote, router:
+        Host mote and its geographic router.
+    bounds:
+        Field bounds every node agrees on (hash domain).
+    entry_ttl:
+        Entry expiry without updates.
+    hash_margin:
+        Keep hashed coordinates this far from the field edge.
+    """
+
+    name = "dir"
+
+    def __init__(self, mote: Mote, router: GeoRouter, bounds: FieldBounds,
+                 entry_ttl: float = DEFAULT_ENTRY_TTL,
+                 hash_margin: float = 1.0) -> None:
+        super().__init__(mote)
+        self.router = router
+        self.bounds = bounds.shrunk(hash_margin)
+        self.entry_ttl = entry_ttl
+        self._entries: Dict[str, DirectoryEntry] = {}
+        self._pending_queries: Dict[int, Callable[
+            [List[DirectoryEntry]], None]] = {}
+        self._query_seq = 0
+
+    def on_start(self) -> None:
+        self.router.register_delivery(REGISTER_KIND, self._on_register)
+        self.router.register_delivery(QUERY_KIND, self._on_query)
+        self.router.register_delivery(RESPONSE_KIND, self._on_response)
+        self.handle(REPLICATE_KIND, self._on_replicate_frame)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def directory_point(self, context_type: str) -> Position:
+        """Where this type's directory object lives."""
+        return hash_to_coordinate(context_type, self.bounds)
+
+    def register(self, context_type: str, label: str,
+                 location: Position, leader: int) -> None:
+        """Announce (or refresh) an active context label.
+
+        Called by a label's leader when the label first comes alive and
+        periodically thereafter ("occasional updates ... keep the location
+        information up to date").
+        """
+        self.router.route_to_point(
+            self.directory_point(context_type), REGISTER_KIND, {
+                "context_type": context_type,
+                "label": label,
+                "location": [location[0], location[1]],
+                "leader": leader,
+                "time": self.now,
+            })
+
+    def lookup(self, context_type: str,
+               callback: Callable[[List[DirectoryEntry]], None]) -> None:
+        """Ask "where are all the <type>s?"; the callback receives the
+        entries (possibly empty) when the response returns."""
+        self._query_seq += 1
+        query_id = self._query_seq
+        self._pending_queries[query_id] = callback
+        self.router.route_to_point(
+            self.directory_point(context_type), QUERY_KIND, {
+                "context_type": context_type,
+                "query_id": query_id,
+                "reply_to": self.node_id,
+            })
+
+    # ------------------------------------------------------------------
+    # Directory-object side
+    # ------------------------------------------------------------------
+    def entries_for(self, context_type: str) -> List[DirectoryEntry]:
+        """Fresh locally stored entries of a type (directory nodes only)."""
+        self._expire()
+        return sorted((entry for entry in self._entries.values()
+                       if entry.context_type == context_type),
+                      key=lambda entry: entry.label)
+
+    def _store(self, payload: Dict[str, Any]) -> Optional[DirectoryEntry]:
+        try:
+            entry = DirectoryEntry(
+                label=payload["label"],
+                context_type=payload["context_type"],
+                location=(float(payload["location"][0]),
+                          float(payload["location"][1])),
+                leader=int(payload["leader"]),
+                updated=float(payload.get("time", self.now)),
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+        existing = self._entries.get(entry.label)
+        if existing is not None and existing.updated > entry.updated:
+            return existing
+        self._entries[entry.label] = entry
+        return entry
+
+    def _on_register(self, payload: Dict[str, Any], origin: int) -> None:
+        entry = self._store(payload)
+        if entry is None:
+            return
+        self.record("stored", label=entry.label, type=entry.context_type)
+        # Replicate to the one-hop neighborhood around the hash point.
+        self.broadcast(REPLICATE_KIND, dict(payload))
+
+    def _on_replicate_frame(self, frame) -> None:
+        payload = frame.payload
+        context_type = payload.get("context_type")
+        if not isinstance(context_type, str):
+            return
+        # Only nodes near the hashed coordinate keep replicas.
+        point = self.directory_point(context_type)
+        if distance(self.mote.position, point) \
+                <= self.mote.medium.communication_radius:
+            self._store(payload)
+
+    def _on_query(self, payload: Dict[str, Any], origin: int) -> None:
+        context_type = payload.get("context_type")
+        reply_to = payload.get("reply_to")
+        if not isinstance(context_type, str) or reply_to is None:
+            return
+        entries = self.entries_for(context_type)
+        self.router.route_to_node(int(reply_to), RESPONSE_KIND, {
+            "query_id": payload.get("query_id"),
+            "entries": [{
+                "context_type": entry.context_type,
+                "label": entry.label,
+                "location": [entry.location[0], entry.location[1]],
+                "leader": entry.leader,
+                "time": entry.updated,
+            } for entry in entries],
+        })
+
+    def _on_response(self, payload: Dict[str, Any], origin: int) -> None:
+        callback = self._pending_queries.pop(
+            payload.get("query_id"), None)
+        if callback is None:
+            return
+        entries = []
+        for raw in payload.get("entries", []):
+            entry = self._store_parse(raw)
+            if entry is not None:
+                entries.append(entry)
+        callback(entries)
+
+    @staticmethod
+    def _store_parse(raw: Dict[str, Any]) -> Optional[DirectoryEntry]:
+        try:
+            return DirectoryEntry(
+                label=raw["label"], context_type=raw["context_type"],
+                location=(float(raw["location"][0]),
+                          float(raw["location"][1])),
+                leader=int(raw["leader"]), updated=float(raw["time"]))
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+
+    def _expire(self) -> None:
+        horizon = self.now - self.entry_ttl
+        stale = [label for label, entry in self._entries.items()
+                 if entry.updated < horizon]
+        for label in stale:
+            del self._entries[label]

@@ -1,0 +1,21 @@
+"""Wireless substrate: frames, broadcast medium, MAC and statistics."""
+
+from .frames import BROADCAST, DEFAULT_FRAME_BITS, Frame
+from .mac import CsmaMac, MacBase, NullMac, make_mac
+from .medium import DEFAULT_BITRATE, Medium, TransceiverPort, distance
+from .stats import RadioStats
+
+__all__ = [
+    "BROADCAST",
+    "CsmaMac",
+    "DEFAULT_BITRATE",
+    "DEFAULT_FRAME_BITS",
+    "Frame",
+    "MacBase",
+    "Medium",
+    "NullMac",
+    "RadioStats",
+    "TransceiverPort",
+    "distance",
+    "make_mac",
+]

@@ -1,0 +1,134 @@
+"""Medium access control.
+
+Two MACs are provided:
+
+* :class:`NullMac` — transmit immediately, exactly what a frame-at-a-time
+  stack with no carrier sensing does.  Highest collision exposure.
+* :class:`CsmaMac` — carrier-sense with random backoff, approximating the
+  simple CSMA in the MICA TinyOS stack.  It is *unreliable* by design: no
+  acknowledgements and no retransmissions, matching the paper's note that
+  "no reliability is implemented in the MAC layer of the MICA motes".
+
+Both expose ``send(frame)`` and report queue statistics, so protocol layers
+never care which is installed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..sim import Simulator
+from .frames import Frame
+from .medium import Medium, Position
+
+
+class MacBase:
+    """Common interface for MAC implementations."""
+
+    def __init__(self, sim: Simulator, medium: Medium,
+                 position_fn: Callable[[], Position]) -> None:
+        self.sim = sim
+        self.medium = medium
+        self._position_fn = position_fn
+        self.sent = 0
+        self.dropped = 0
+
+    def send(self, frame: Frame) -> None:
+        raise NotImplementedError
+
+    @property
+    def backlog(self) -> int:
+        return 0
+
+
+class NullMac(MacBase):
+    """Fire-and-forget: every ``send`` transmits immediately."""
+
+    def send(self, frame: Frame) -> None:
+        self.sent += 1
+        self.medium.transmit(frame)
+
+
+class CsmaMac(MacBase):
+    """Carrier-sense multiple access with bounded random backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Carrier-sense attempts before the frame is dropped (congestion
+        drop — counted in :attr:`dropped`).
+    backoff:
+        ``(lo, hi)`` uniform backoff window in seconds between attempts.
+    queue_limit:
+        Frames waiting behind an in-progress backoff; overflow is dropped.
+    """
+
+    def __init__(self, sim: Simulator, medium: Medium,
+                 position_fn: Callable[[], Position],
+                 max_attempts: int = 8,
+                 backoff: Tuple[float, float] = (0.001, 0.008),
+                 queue_limit: int = 32) -> None:
+        super().__init__(sim, medium, position_fn)
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.queue_limit = queue_limit
+        self._queue: Deque[Frame] = deque()
+        self._busy = False
+        self._rng = sim.rng.stream("radio.mac")
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def send(self, frame: Frame) -> None:
+        if self._busy:
+            if len(self._queue) >= self.queue_limit:
+                self.dropped += 1
+                self.sim.record("mac.drop", node=frame.src,
+                                kind=frame.kind, cause="queue_overflow")
+                return
+            self._queue.append(frame)
+            return
+        self._busy = True
+        self._attempt(frame, attempt=1)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, frame: Frame, attempt: int) -> None:
+        if not self.medium.channel_busy(self._position_fn()):
+            self.sent += 1
+            self.medium.transmit(frame)
+            self._finish()
+            return
+        if attempt >= self.max_attempts:
+            self.dropped += 1
+            self.sim.record("mac.drop", node=frame.src, kind=frame.kind,
+                            cause="max_attempts")
+            self._finish()
+            return
+        lo, hi = self.backoff
+        delay = self._rng.uniform(lo, hi) * attempt
+        self.sim.schedule(delay, self._attempt, frame, attempt + 1,
+                          label="mac.backoff")
+
+    def _finish(self) -> None:
+        if self._queue:
+            nxt = self._queue.popleft()
+            # Small turnaround gap before the next frame's first attempt.
+            self.sim.schedule(self.backoff[0], self._attempt, nxt, 1,
+                              label="mac.next")
+        else:
+            self._busy = False
+
+
+def make_mac(name: str, sim: Simulator, medium: Medium,
+             position_fn: Callable[[], Position],
+             **kwargs) -> MacBase:
+    """Factory used by scenario configuration (``"null"`` or ``"csma"``)."""
+    if name == "null":
+        return NullMac(sim, medium, position_fn)
+    if name == "csma":
+        return CsmaMac(sim, medium, position_fn, **kwargs)
+    raise ValueError(f"unknown MAC {name!r} (expected 'null' or 'csma')")

@@ -1,0 +1,288 @@
+"""Shared wireless broadcast medium.
+
+Models the MICA mote radio at the fidelity the evaluation needs:
+
+* **Range** — a frame physically reaches every registered transceiver
+  within ``communication_radius`` of the sender (distances in grid units,
+  matching the paper's "communication radius of 6 grids").
+* **Airtime** — a transmission occupies the channel for
+  ``size_bits / bitrate`` seconds (50 kbps by default).
+* **Collisions** — a reception is corrupted when a *different* transmission
+  whose sender is within ``interference_radius`` of the receiver overlaps
+  the reception's airtime.  This is what makes loss grow with target speed
+  in Table 1: faster targets mean more concurrent handover traffic.
+* **Channel loss** — independent Bernoulli loss per reception models the
+  MAC-less unreliability of the motes ("no reliability is implemented in
+  the MAC layer of the MICA motes").
+
+The medium never inspects payloads; addressing (unicast vs broadcast) is a
+filter applied by the receiving mote, exactly like a radio that hears
+everything in range but only delivers frames addressed to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+from .frames import Frame
+from .stats import RadioStats
+
+Position = Tuple[float, float]
+
+#: MICA mote channel capacity used throughout the paper's Table 1.
+DEFAULT_BITRATE = 50_000.0
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two field positions."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass
+class _Reception:
+    """A pending physical reception of one frame at one transceiver."""
+
+    receiver: "TransceiverPort"
+    corrupted: bool = False
+    drop_cause: Optional[str] = None
+
+    def corrupt(self, cause: str) -> None:
+        if not self.corrupted:
+            self.corrupted = True
+            self.drop_cause = cause
+
+
+@dataclass
+class _Transmission:
+    """An in-flight frame occupying airtime on the channel."""
+
+    frame: Frame
+    src_pos: Position
+    start: float
+    end: float
+    receptions: List[_Reception] = field(default_factory=list)
+
+    def overlaps(self, other: "_Transmission") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class TransceiverPort:
+    """The medium-facing half of a mote's radio.
+
+    Holds the position callback (positions may change for mobile nodes) and
+    the delivery callback invoked when a frame survives the channel.
+    """
+
+    def __init__(self, node_id: int, position_fn: Callable[[], Position],
+                 deliver_fn: Callable[[Frame], None]) -> None:
+        self.node_id = node_id
+        self._position_fn = position_fn
+        self._deliver_fn = deliver_fn
+        self.enabled = True
+
+    @property
+    def position(self) -> Position:
+        return self._position_fn()
+
+    def deliver(self, frame: Frame) -> None:
+        self._deliver_fn(frame)
+
+
+class Medium:
+    """The single shared channel all motes transmit on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator (for the clock, scheduling and RNG).
+    communication_radius:
+        Reception range in grid units.
+    interference_radius:
+        Range within which a concurrent transmitter corrupts a reception;
+        defaults to the communication radius.
+    base_loss_rate:
+        Independent per-reception Bernoulli loss probability.
+    bitrate:
+        Channel capacity in bits/second.
+    propagation_delay:
+        Fixed additional delivery latency (signal flight time), usually
+        negligible next to airtime.
+    """
+
+    def __init__(self, sim: Simulator, communication_radius: float,
+                 interference_radius: Optional[float] = None,
+                 base_loss_rate: float = 0.0,
+                 bitrate: float = DEFAULT_BITRATE,
+                 propagation_delay: float = 0.0,
+                 soft_edge_start: float = 1.0,
+                 soft_edge_loss: float = 0.0) -> None:
+        if communication_radius <= 0:
+            raise ValueError("communication radius must be positive")
+        if not 0.0 <= base_loss_rate < 1.0:
+            raise ValueError(
+                f"base loss rate must be in [0, 1): {base_loss_rate}")
+        if not 0.0 < soft_edge_start <= 1.0:
+            raise ValueError(
+                f"soft edge start must be in (0, 1]: {soft_edge_start}")
+        if not 0.0 <= soft_edge_loss <= 1.0:
+            raise ValueError(
+                f"soft edge loss must be in [0, 1]: {soft_edge_loss}")
+        self.sim = sim
+        self.communication_radius = communication_radius
+        self.interference_radius = (communication_radius
+                                    if interference_radius is None
+                                    else interference_radius)
+        self.base_loss_rate = base_loss_rate
+        self.bitrate = bitrate
+        self.propagation_delay = propagation_delay
+        # Soft reception edge (shadowing-like): receptions beyond
+        # ``soft_edge_start × reach`` suffer extra loss ramping linearly up
+        # to ``soft_edge_loss`` at the reach boundary.  Real radios degrade
+        # toward their range limit; this makes "marginal" links flaky
+        # rather than binary (the Figure 4 speed effect depends on it).
+        self.soft_edge_start = soft_edge_start
+        self.soft_edge_loss = soft_edge_loss
+        self.stats = RadioStats(started_at=sim.now)
+        self._ports: Dict[int, TransceiverPort] = {}
+        self._active: List[_Transmission] = []
+        self._rng = sim.rng.stream("radio.loss")
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, port: TransceiverPort) -> None:
+        """Register a transceiver on the channel."""
+        if port.node_id in self._ports:
+            raise ValueError(f"node {port.node_id} already attached")
+        self._ports[port.node_id] = port
+
+    def detach(self, node_id: int) -> None:
+        """Remove a transceiver from the channel."""
+        self._ports.pop(node_id, None)
+
+    def port(self, node_id: int) -> TransceiverPort:
+        """The registered transceiver of ``node_id``."""
+        return self._ports[node_id]
+
+    def node_ids(self) -> List[int]:
+        """Sorted ids of all attached transceivers."""
+        return sorted(self._ports)
+
+    # ------------------------------------------------------------------
+    # Channel state
+    # ------------------------------------------------------------------
+    def channel_busy(self, pos: Position) -> bool:
+        """Carrier sense: is any in-flight transmitter audible at ``pos``?"""
+        self._prune()
+        return any(
+            distance(tx.src_pos, pos) <= self.communication_radius
+            for tx in self._active)
+
+    def airtime(self, frame: Frame) -> float:
+        """Seconds this frame occupies the channel."""
+        return frame.size_bits / self.bitrate
+
+    def neighbors_of(self, node_id: int,
+                     radius: Optional[float] = None) -> List[int]:
+        """Node ids within ``radius`` (default: communication radius)."""
+        port = self._ports[node_id]
+        limit = self.communication_radius if radius is None else radius
+        origin = port.position
+        return sorted(
+            other.node_id for other in self._ports.values()
+            if other.node_id != node_id
+            and distance(origin, other.position) <= limit)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> None:
+        """Put ``frame`` on the air from its source's current position.
+
+        Delivery (or silent loss) happens after the frame's airtime plus
+        propagation delay.
+        """
+        src_port = self._ports.get(frame.src)
+        if src_port is None:
+            raise KeyError(f"unknown source node {frame.src}")
+        now = self.sim.now
+        frame.sent_at = now
+        src_pos = src_port.position
+        tx = _Transmission(frame=frame, src_pos=src_pos, start=now,
+                           end=now + self.airtime(frame))
+        self._prune()
+        reach = (self.communication_radius if frame.tx_range is None
+                 else min(frame.tx_range, self.communication_radius))
+        # Build the reception set: everyone in range except the sender.
+        for port in self._ports.values():
+            if port.node_id == frame.src or not port.enabled:
+                continue
+            d = distance(src_pos, port.position)
+            if d > reach:
+                continue
+            reception = _Reception(receiver=port)
+            if self._rng.random() < self._loss_probability(d, reach):
+                reception.corrupt("channel")
+            tx.receptions.append(reception)
+        # Mutual collision marking against concurrently active airtime.
+        for other in self._active:
+            if not tx.overlaps(other):
+                continue
+            for reception in tx.receptions:
+                if distance(other.src_pos,
+                            reception.receiver.position) \
+                        <= self.interference_radius:
+                    reception.corrupt("collision")
+            for reception in other.receptions:
+                if distance(src_pos, reception.receiver.position) \
+                        <= self.interference_radius:
+                    reception.corrupt("collision")
+        self._active.append(tx)
+        self.stats.on_send(frame.kind, frame.size_bits, frame.src, now)
+        self.sim.record("radio.tx", node=frame.src, kind=frame.kind,
+                        frame_id=frame.frame_id, dst=frame.dst)
+        self.sim.schedule(self.airtime(frame) + self.propagation_delay,
+                          self._complete, tx, label="radio.delivery")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _loss_probability(self, d: float, reach: float) -> float:
+        """Per-reception loss at distance ``d`` for a given reach."""
+        probability = self.base_loss_rate
+        threshold = self.soft_edge_start * reach
+        if self.soft_edge_loss > 0 and d > threshold and reach > threshold:
+            ramp = (d - threshold) / (reach - threshold)
+            probability = probability + (1 - probability) \
+                * self.soft_edge_loss * min(1.0, ramp)
+        return probability
+
+    def _complete(self, tx: _Transmission) -> None:
+        delivered = 0
+        dst_received = False
+        for reception in tx.receptions:
+            self.stats.on_reception_attempt(tx.frame.kind,
+                                            reception.corrupted)
+            if reception.corrupted:
+                self.stats.on_reception_dropped(reception.drop_cause
+                                                or "unknown")
+                continue
+            delivered += 1
+            if reception.receiver.node_id == tx.frame.dst:
+                dst_received = True
+            self.stats.on_receive(tx.frame.kind, self.sim.now)
+            reception.receiver.deliver(tx.frame)
+        if not tx.frame.is_broadcast:
+            self.stats.on_addressed_outcome(tx.frame.kind, dst_received)
+        if delivered == 0:
+            # The paper's loss metric: sent but never received on any mote.
+            self.stats.on_frame_lost(tx.frame.kind)
+            self.sim.record("radio.lost", node=tx.frame.src,
+                            kind=tx.frame.kind, frame_id=tx.frame.frame_id)
+
+    def _prune(self) -> None:
+        now = self.sim.now
+        self._active = [tx for tx in self._active if tx.end > now]

@@ -1,0 +1,25 @@
+"""Physical environment: fields, deployments, targets and sensor models."""
+
+from .field import SensorField
+from .sensors import (ambient_scalar_sensor, binary_detection_sensor,
+                      magnetic_sensor, position_sensor, threshold_detector)
+from .target import GrowingTarget, Target, fire_target
+from .trajectory import (LineTrajectory, RandomWalkTrajectory, StaticPoint,
+                         Trajectory, WaypointTrajectory)
+
+__all__ = [
+    "GrowingTarget",
+    "LineTrajectory",
+    "RandomWalkTrajectory",
+    "SensorField",
+    "StaticPoint",
+    "Target",
+    "Trajectory",
+    "WaypointTrajectory",
+    "ambient_scalar_sensor",
+    "binary_detection_sensor",
+    "fire_target",
+    "magnetic_sensor",
+    "position_sensor",
+    "threshold_detector",
+]

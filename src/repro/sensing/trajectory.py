@@ -1,0 +1,140 @@
+"""Target trajectories.
+
+All trajectories are pure functions of simulation time, so positions are
+reproducible and targets never need their own events: whoever samples a
+sensor evaluates the trajectory at the current clock.
+
+Distances are in grid units (1 unit = the paper's 140 m inter-mote hop) and
+speeds in grid hops per second — the paper's T-72 case study moves at
+0.1 hop/s (10 s/hop ≙ 50 km/hr at the 1000:1 scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+Position = Tuple[float, float]
+
+
+class Trajectory:
+    """Base: a position-valued function of time."""
+
+    def position(self, t: float) -> Position:
+        raise NotImplementedError
+
+    def speed_at(self, t: float, dt: float = 1e-3) -> float:
+        """Numerical instantaneous speed (grid units / second)."""
+        x0, y0 = self.position(max(0.0, t - dt))
+        x1, y1 = self.position(t + dt)
+        span = (t + dt) - max(0.0, t - dt)
+        if span <= 0:
+            return 0.0
+        return math.hypot(x1 - x0, y1 - y0) / span
+
+
+class StaticPoint(Trajectory):
+    """A non-moving target (e.g. a fire's ignition point)."""
+
+    def __init__(self, point: Position) -> None:
+        self.point = point
+
+    def position(self, t: float) -> Position:
+        return self.point
+
+
+class LineTrajectory(Trajectory):
+    """Constant-velocity straight line — the Figure 3 tank run.
+
+    Parameters
+    ----------
+    start:
+        Position at ``t = 0``.
+    speed:
+        Grid hops per second.
+    heading:
+        Radians; 0 points along +x (the paper's run crosses the grid at
+        constant ``y = 0.5``).
+    """
+
+    def __init__(self, start: Position, speed: float,
+                 heading: float = 0.0) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0: {speed}")
+        self.start = start
+        self.speed = speed
+        self.heading = heading
+
+    def position(self, t: float) -> Position:
+        return (self.start[0] + self.speed * t * math.cos(self.heading),
+                self.start[1] + self.speed * t * math.sin(self.heading))
+
+
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear motion through waypoints at constant speed.
+
+    The target stops at the final waypoint.
+    """
+
+    def __init__(self, waypoints: Sequence[Position], speed: float) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("need at least one waypoint")
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0: {speed}")
+        self.waypoints: List[Position] = list(waypoints)
+        self.speed = speed
+        self._arrivals = [0.0]
+        for prev, cur in zip(self.waypoints, self.waypoints[1:]):
+            leg = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+            self._arrivals.append(self._arrivals[-1] + leg / speed)
+
+    @property
+    def total_time(self) -> float:
+        """Time at which the final waypoint is reached."""
+        return self._arrivals[-1]
+
+    def position(self, t: float) -> Position:
+        if t <= 0:
+            return self.waypoints[0]
+        if t >= self._arrivals[-1]:
+            return self.waypoints[-1]
+        for i in range(1, len(self._arrivals)):
+            if t <= self._arrivals[i]:
+                t0, t1 = self._arrivals[i - 1], self._arrivals[i]
+                frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+                x0, y0 = self.waypoints[i - 1]
+                x1, y1 = self.waypoints[i]
+                return (x0 + frac * (x1 - x0), y0 + frac * (y1 - y0))
+        return self.waypoints[-1]
+
+
+class RandomWalkTrajectory(Trajectory):
+    """A seeded random walk inside a bounding box.
+
+    Precomputes waypoints so the trajectory stays a pure function of time.
+    """
+
+    def __init__(self, start: Position, speed: float,
+                 bounds: Tuple[float, float, float, float],
+                 step_length: float = 2.0, steps: int = 256,
+                 seed: int = 0) -> None:
+        import random as _random
+        rng = _random.Random(seed)
+        x_lo, y_lo, x_hi, y_hi = bounds
+        if x_lo >= x_hi or y_lo >= y_hi:
+            raise ValueError(f"degenerate bounds: {bounds}")
+        points: List[Position] = [start]
+        x, y = start
+        for _ in range(steps):
+            angle = rng.uniform(0, 2 * math.pi)
+            x = min(max(x + step_length * math.cos(angle), x_lo), x_hi)
+            y = min(max(y + step_length * math.sin(angle), y_lo), y_hi)
+            points.append((x, y))
+        self._inner = WaypointTrajectory(points, speed)
+
+    def position(self, t: float) -> Position:
+        return self._inner.position(t)
+
+    @property
+    def total_time(self) -> float:
+        return self._inner.total_time

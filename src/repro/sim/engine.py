@@ -1,0 +1,187 @@
+"""The discrete-event simulation engine.
+
+A single :class:`Simulator` owns the virtual clock, the event heap, the
+per-subsystem random streams and the trace log.  Everything in the
+reproduction — radios, motes, protocol timers, moving targets — schedules
+work through this object, which makes whole-system runs deterministic for a
+given seed.
+
+Example
+-------
+>>> sim = Simulator(seed=7)
+>>> fired = []
+>>> _ = sim.schedule(2.0, fired.append, 'b')
+>>> _ = sim.schedule(1.0, fired.append, 'a')
+>>> sim.run(until=10.0)
+>>> fired
+['a', 'b']
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+from .events import Event, EventSequencer, TraceRecord
+from .rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Each named random stream derives deterministically
+        from it (see :class:`repro.sim.rng.RandomStreams`).
+    trace_capacity:
+        Maximum number of retained trace records (oldest dropped first);
+        ``None`` retains everything.
+    """
+
+    def __init__(self, seed: int = 0,
+                 trace_capacity: Optional[int] = None) -> None:
+        self.seed = seed
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = EventSequencer()
+        self._running = False
+        self._stopped = False
+        self.rng = RandomStreams(seed)
+        self.trace_capacity = trace_capacity
+        self.trace: List[TraceRecord] = []
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_fired
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any, label: str = "", **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` after ``delay`` seconds.
+
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay!r}s in the past (now={self._now})")
+        return self.schedule_at(self._now + delay, callback, *args,
+                                label=label, **kwargs)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any],
+                    *args: Any, label: str = "", **kwargs: Any) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when!r} before now={self._now}")
+        event = Event(time=when, seq=self._seq.next(), callback=callback,
+                      args=args, kwargs=kwargs, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any,
+                  label: str = "", **kwargs: Any) -> Event:
+        """Schedule ``callback`` at the current time (after pending events
+        at this time that were scheduled earlier)."""
+        return self.schedule(0.0, callback, *args, label=label, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Dispatch events until the horizon, the event budget, or quiescence.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            the clock is advanced to ``until``.  ``None`` runs to quiescence.
+        max_events:
+            Safety valve for runaway schedules.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fire()
+                self._events_fired += 1
+                fired += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> Optional[Event]:
+        """Dispatch exactly one (non-cancelled) event; return it or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self._events_fired += 1
+            return event
+        return None
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None when quiescent."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def record(self, category: str, node: Optional[int] = None,
+               **detail: Any) -> None:
+        """Append a structured record to the trace log."""
+        self.trace.append(TraceRecord(time=self._now, category=category,
+                                      node=node, detail=detail))
+        if (self.trace_capacity is not None
+                and len(self.trace) > self.trace_capacity):
+            del self.trace[0]
+
+    def trace_records(self, category: Optional[str] = None,
+                      node: Optional[int] = None) -> Iterable[TraceRecord]:
+        """Iterate trace records matching the filters."""
+        return (r for r in self.trace if r.matches(category, node))

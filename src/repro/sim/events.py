@@ -1,0 +1,75 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine (:mod:`repro.sim.engine`) dispatches :class:`Event` instances in
+nondecreasing time order.  Ties are broken deterministically by a
+monotonically increasing sequence number assigned at scheduling time, so two
+runs with the same seed and the same scheduling order produce identical
+traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` which makes them directly usable in a
+    binary heap.  The payload fields are excluded from comparison.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.
+        """
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def fire(self) -> Any:
+        """Invoke the callback.  The engine calls this; tests may too."""
+        return self.callback(*self.args, **self.kwargs)
+
+
+class EventSequencer:
+    """Produces the deterministic tie-breaking sequence numbers."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next(self) -> int:
+        return next(self._counter)
+
+
+@dataclass
+class TraceRecord:
+    """One structured record in the simulation trace log."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    detail: dict
+
+    def matches(self, category: Optional[str] = None,
+                node: Optional[int] = None) -> bool:
+        """Return True when the record matches the given filters."""
+        if category is not None and self.category != category:
+            return False
+        if node is not None and self.node != node:
+            return False
+        return True

@@ -1,0 +1,46 @@
+"""Named, seeded random streams.
+
+Every stochastic subsystem (radio loss, deployment jitter, failure
+injection, …) draws from its own stream so that adding randomness to one
+subsystem never perturbs another.  Stream seeds derive deterministically
+from the master seed and the stream name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``master`` and a stream name.
+
+    Uses SHA-256 rather than ``hash()`` so results are stable across
+    interpreter runs and PYTHONHASHSEED settings.
+    """
+    digest = hashlib.sha256(f"{master}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A lazily created family of :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is None:
+            existing = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = existing
+        return existing
+
+    def __getitem__(self, name: str) -> random.Random:
+        return self.stream(name)
+
+    def names(self):
+        """Names of the streams created so far (sorted for determinism)."""
+        return sorted(self._streams)

@@ -1,0 +1,136 @@
+"""Trace export and query tooling.
+
+Simulation traces are the ground truth every analysis reads.  This module
+exports them as JSON-lines files (one record per line, grep- and
+jq-friendly), loads them back, and offers a small query helper for
+interactive debugging of protocol behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from .engine import Simulator
+from .events import TraceRecord
+
+
+def record_to_dict(record: TraceRecord) -> dict:
+    """Flatten a record for JSON serialization."""
+    return {"t": record.time, "category": record.category,
+            "node": record.node, **record.detail}
+
+
+def dict_to_record(data: dict) -> TraceRecord:
+    """Rebuild a record from its JSONL dict form."""
+    data = dict(data)
+    time = float(data.pop("t"))
+    category = str(data.pop("category"))
+    node = data.pop("node", None)
+    return TraceRecord(time=time, category=category,
+                       node=None if node is None else int(node),
+                       detail=data)
+
+
+def dump_trace(sim: Simulator, path: str,
+               categories: Optional[Iterable[str]] = None) -> int:
+    """Write the simulation trace as JSONL; returns the record count.
+
+    Non-JSON-serializable detail values are stringified rather than
+    dropped, so traces always export completely.
+    """
+    wanted = None if categories is None else set(categories)
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in sim.trace:
+            if wanted is not None and record.category not in wanted:
+                continue
+            handle.write(json.dumps(record_to_dict(record),
+                                    default=str, sort_keys=True))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Read a JSONL trace back into records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(dict_to_record(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line: {exc}"
+                ) from exc
+    return records
+
+
+@dataclass
+class TraceQuery:
+    """Chainable filters over a list of trace records.
+
+    >>> TraceQuery(records).category("gm.takeover").between(10, 20).count()
+    """
+
+    records: List[TraceRecord]
+
+    def category(self, name: str) -> "TraceQuery":
+        """Keep records of exactly this category."""
+        return TraceQuery([r for r in self.records
+                           if r.category == name])
+
+    def category_prefix(self, prefix: str) -> "TraceQuery":
+        """Keep records whose category starts with ``prefix``."""
+        return TraceQuery([r for r in self.records
+                           if r.category.startswith(prefix)])
+
+    def node(self, node_id: int) -> "TraceQuery":
+        """Keep records emitted by one node."""
+        return TraceQuery([r for r in self.records if r.node == node_id])
+
+    def between(self, start: float, end: float) -> "TraceQuery":
+        """Keep records in the closed time interval."""
+        return TraceQuery([r for r in self.records
+                           if start <= r.time <= end])
+
+    def where(self, predicate: Callable[[TraceRecord], bool]
+              ) -> "TraceQuery":
+        return TraceQuery([r for r in self.records if predicate(r)])
+
+    def detail(self, key: str, value) -> "TraceQuery":
+        """Keep records whose detail ``key`` equals ``value``."""
+        return TraceQuery([r for r in self.records
+                           if r.detail.get(key) == value])
+
+    # -- terminals -------------------------------------------------------
+    def count(self) -> int:
+        """Number of matching records."""
+        return len(self.records)
+
+    def first(self) -> Optional[TraceRecord]:
+        """Earliest matching record, or None."""
+        return self.records[0] if self.records else None
+
+    def last(self) -> Optional[TraceRecord]:
+        """Latest matching record, or None."""
+        return self.records[-1] if self.records else None
+
+    def times(self) -> List[float]:
+        """Timestamps of the matching records."""
+        return [r.time for r in self.records]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def query(sim: Simulator) -> TraceQuery:
+    """Entry point: ``query(sim).category("gm.takeover").count()``."""
+    return TraceQuery(list(sim.trace))

@@ -1,0 +1,19 @@
+"""Transport: geographic routing, LRU leader tables, and MTP."""
+
+from .mtp import (DEFAULT_CHAIN_LIMIT, Invocation, MTP_KIND, MtpAgent,
+                  PortHandler)
+from .routing import DEFAULT_TTL, GEO_KIND, GeoRouter
+from .tables import LastKnownLeaderTable, LeaderPointer
+
+__all__ = [
+    "DEFAULT_CHAIN_LIMIT",
+    "DEFAULT_TTL",
+    "GEO_KIND",
+    "GeoRouter",
+    "Invocation",
+    "LastKnownLeaderTable",
+    "LeaderPointer",
+    "MTP_KIND",
+    "MtpAgent",
+    "PortHandler",
+]

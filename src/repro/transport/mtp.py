@@ -1,0 +1,242 @@
+"""MTP — the transport layer protocol (§5.4).
+
+Context labels are "akin to IP addresses"; the group leader of a label
+oversees all communication addressed to it.  Remote method invocation
+between tracking objects works like this:
+
+1. the source object's leader resolves the destination label to a node:
+   first its *last-known-leader* LRU table, falling back to a directory
+   lookup ("the directory services ... determine where an object is when
+   it is first contacted");
+2. the message travels by geographic routing to that node, carrying the
+   source's current leader in the header;
+3. a node receiving an MTP message for a label it no longer leads forwards
+   it along its own last-known-leader pointer — "messages from moderately
+   out-of-date remote senders can be forwarded along a chain of past
+   leaders to the current leader";
+4. every endpoint updates its table from the header, so "the more traffic
+   exchanged between the endpoints, the more up-to-date the leader
+   information is".
+
+Connections are identified by (source label:port, destination label:port);
+port ids map to methods of individual tracking objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
+
+from ..groups import GroupManager, HEARTBEAT_KIND, Heartbeat, label_type
+from ..node import Component, Mote
+
+if TYPE_CHECKING:  # avoid the naming↔transport import cycle at runtime
+    from ..naming import DirectoryEntry, DirectoryService
+from .routing import GeoRouter
+from .tables import LastKnownLeaderTable
+
+MTP_KIND = "mtp.invoke"
+
+#: Maximum forwarding-chain length before a message is dropped.
+DEFAULT_CHAIN_LIMIT = 8
+
+#: Handler signature: (args, source_label, source_port, source_leader).
+PortHandler = Callable[[Dict[str, Any], str, int, int], None]
+
+
+@dataclass
+class Invocation:
+    """One remote method invocation in flight."""
+
+    src_label: str
+    src_port: int
+    src_leader: int
+    dest_label: str
+    dest_port: int
+    args: Dict[str, Any]
+    chain: int = DEFAULT_CHAIN_LIMIT
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "src_label": self.src_label,
+            "src_port": self.src_port,
+            "src_leader": self.src_leader,
+            "dest_label": self.dest_label,
+            "dest_port": self.dest_port,
+            "args": self.args,
+            "chain": self.chain,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> Optional["Invocation"]:
+        try:
+            return cls(
+                src_label=payload["src_label"],
+                src_port=int(payload["src_port"]),
+                src_leader=int(payload["src_leader"]),
+                dest_label=payload["dest_label"],
+                dest_port=int(payload["dest_port"]),
+                args=dict(payload.get("args", {})),
+                chain=int(payload.get("chain", DEFAULT_CHAIN_LIMIT)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+class MtpAgent(Component):
+    """MTP endpoint on one mote.
+
+    Parameters
+    ----------
+    mote, router, groups:
+        Host mote, its geographic router and group manager.
+    directory:
+        Directory service for first-contact lookups; optional — without it
+        only table-resolved destinations work.
+    table_capacity:
+        Last-known-leader LRU size.
+    """
+
+    name = "mtp"
+
+    def __init__(self, mote: Mote, router: GeoRouter, groups: GroupManager,
+                 directory: Optional["DirectoryService"] = None,
+                 table_capacity: int = 16) -> None:
+        super().__init__(mote)
+        self.router = router
+        self.groups = groups
+        self.directory = directory
+        self.table = LastKnownLeaderTable(capacity=table_capacity)
+        self._ports: Dict[Tuple[str, int], PortHandler] = {}
+        self._pending: Dict[str, List[Invocation]] = {}
+        self.delivered = 0
+        self.forwarded = 0
+        self.dropped = 0
+
+    def on_start(self) -> None:
+        self.router.register_delivery(MTP_KIND, self._on_invocation)
+        # Forwarding pointers come for free from overheard heartbeats: a
+        # past leader stays in radio range of its successor for a while and
+        # keeps its pointer fresh from the successor's keep-alives.
+        self.handle(HEARTBEAT_KIND, self._on_heartbeat)
+
+    # ------------------------------------------------------------------
+    # Port registry
+    # ------------------------------------------------------------------
+    def register_port(self, context_type: str, port: int,
+                      handler: PortHandler) -> None:
+        """Bind ``port`` of objects attached to ``context_type``.
+
+        The handler runs on whichever node currently leads a label of the
+        type when an invocation for that label arrives.
+        """
+        key = (context_type, port)
+        if key in self._ports:
+            raise ValueError(f"port {port} of {context_type!r} taken")
+        self._ports[key] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def invoke(self, src_label: str, dest_label: str, dest_port: int,
+               args: Dict[str, Any], src_port: int = 0) -> None:
+        """Invoke ``dest_port`` on the object attached to ``dest_label``."""
+        invocation = Invocation(
+            src_label=src_label, src_port=src_port,
+            src_leader=self.node_id, dest_label=dest_label,
+            dest_port=dest_port, args=args)
+        self._resolve_and_send(invocation)
+
+    def _resolve_and_send(self, invocation: Invocation) -> None:
+        pointer = self.table.get(invocation.dest_label)
+        if pointer is not None:
+            self._send_to(pointer.leader, invocation)
+            return
+        if self.directory is None:
+            self.dropped += 1
+            self.record("drop", reason="no_route",
+                        dest=invocation.dest_label)
+            return
+        dest_label = invocation.dest_label
+        queue = self._pending.setdefault(dest_label, [])
+        queue.append(invocation)
+        if len(queue) > 1:
+            return  # lookup already in flight
+        self.directory.lookup(
+            label_type(dest_label),
+            lambda entries: self._lookup_done(dest_label, entries))
+
+    def _lookup_done(self, dest_label: str,
+                     entries: List["DirectoryEntry"]) -> None:
+        waiting = self._pending.pop(dest_label, [])
+        match = next((entry for entry in entries
+                      if entry.label == dest_label), None)
+        if match is None:
+            self.dropped += len(waiting)
+            self.record("drop", reason="unknown_label", dest=dest_label,
+                        count=len(waiting))
+            return
+        self.table.update(dest_label, match.leader, match.updated)
+        for invocation in waiting:
+            self._send_to(match.leader, invocation)
+
+    def _send_to(self, node: int, invocation: Invocation) -> None:
+        self.router.route_to_node(node, MTP_KIND, invocation.to_payload())
+
+    # ------------------------------------------------------------------
+    # Receiving / forwarding
+    # ------------------------------------------------------------------
+    def _on_invocation(self, payload: Dict[str, Any], origin: int) -> None:
+        invocation = Invocation.from_payload(payload)
+        if invocation is None:
+            return
+        # Header learning: remember the source's current leader.
+        self.table.update(invocation.src_label, invocation.src_leader,
+                          self.now)
+        if invocation.dest_label in self.groups.labels_led():
+            self._deliver(invocation)
+            return
+        self._forward(invocation)
+
+    def _deliver(self, invocation: Invocation) -> None:
+        handler = self._ports.get(
+            (label_type(invocation.dest_label), invocation.dest_port))
+        if handler is None:
+            self.dropped += 1
+            self.record("drop", reason="no_port",
+                        dest=invocation.dest_label,
+                        port=invocation.dest_port)
+            return
+        self.delivered += 1
+        self.record("deliver", dest=invocation.dest_label,
+                    port=invocation.dest_port, src=invocation.src_label)
+        handler(invocation.args, invocation.src_label,
+                invocation.src_port, invocation.src_leader)
+
+    def _forward(self, invocation: Invocation) -> None:
+        """Past-leader forwarding: push the message one pointer closer to
+        the label's current leader."""
+        if invocation.chain <= 0:
+            self.dropped += 1
+            self.record("drop", reason="chain_exhausted",
+                        dest=invocation.dest_label)
+            return
+        pointer = self.table.get(invocation.dest_label)
+        if pointer is None or pointer.leader == self.node_id:
+            self.dropped += 1
+            self.record("drop", reason="no_pointer",
+                        dest=invocation.dest_label)
+            return
+        invocation.chain -= 1
+        self.forwarded += 1
+        self.record("forward", dest=invocation.dest_label,
+                    next=pointer.leader)
+        self._send_to(pointer.leader, invocation)
+
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, frame) -> None:
+        beat = Heartbeat.from_payload(frame.payload)
+        if beat is None:
+            return
+        self.table.update(beat.label, beat.leader, self.now)

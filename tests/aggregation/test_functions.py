@@ -1,0 +1,96 @@
+"""Unit tests for the aggregation function library."""
+
+import pytest
+
+from repro.aggregation import AggregationError, default_registry
+from repro.aggregation.functions import (aggregate_all, aggregate_any,
+                                         aggregate_avg, aggregate_centroid,
+                                         aggregate_count, aggregate_max,
+                                         aggregate_median, aggregate_min,
+                                         aggregate_stddev, aggregate_sum)
+
+
+class TestScalars:
+    def test_avg(self):
+        assert aggregate_avg([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_sum(self):
+        assert aggregate_sum([1, 2, 3]) == 6
+
+    def test_min_max(self):
+        assert aggregate_min([3, 1, 2]) == 1
+        assert aggregate_max([3, 1, 2]) == 3
+
+    def test_count(self):
+        assert aggregate_count([True, 7, "x"]) == 3
+        assert aggregate_count([]) == 0
+
+    def test_median_odd_even(self):
+        assert aggregate_median([5, 1, 3]) == 3
+        assert aggregate_median([4, 1, 3, 2]) == pytest.approx(2.5)
+
+    def test_stddev(self):
+        assert aggregate_stddev([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+        assert aggregate_stddev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_any_all(self):
+        assert aggregate_any([False, True]) is True
+        assert aggregate_any([]) is False
+        assert aggregate_all([True, True]) is True
+        assert aggregate_all([True, False]) is False
+        assert aggregate_all([]) is False
+
+
+class TestVectors:
+    def test_avg_positions_component_wise(self):
+        result = aggregate_avg([(0.0, 0.0), (2.0, 4.0)])
+        assert result == pytest.approx((1.0, 2.0))
+
+    def test_centroid_is_center_of_gravity(self):
+        result = aggregate_centroid([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        assert result == pytest.approx((1.0, 1.0))
+
+    def test_centroid_rejects_scalars(self):
+        with pytest.raises(AggregationError):
+            aggregate_centroid([1.0, 2.0])
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(AggregationError):
+            aggregate_avg([(1.0, 2.0), 3.0])
+        with pytest.raises(AggregationError):
+            aggregate_avg([(1.0, 2.0), (1.0, 2.0, 3.0)])
+
+
+class TestEmptyInput:
+    @pytest.mark.parametrize("fn", [aggregate_avg, aggregate_sum,
+                                    aggregate_min, aggregate_max,
+                                    aggregate_median, aggregate_stddev,
+                                    aggregate_centroid])
+    def test_rejects_empty(self, fn):
+        with pytest.raises(AggregationError):
+            fn([])
+
+
+class TestRegistry:
+    def test_stock_functions_present(self):
+        registry = default_registry()
+        for name in ("avg", "sum", "min", "max", "count", "median",
+                     "stddev", "centroid", "any", "all"):
+            assert name in registry
+
+    def test_custom_registration(self):
+        registry = default_registry()
+        registry.register("spread",
+                          lambda values: max(values) - min(values))
+        assert registry.get("spread")([1, 5, 3]) == 4
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.register("avg", aggregate_avg)
+        registry.register("avg", aggregate_avg, replace=True)
+
+    def test_unknown_lookup_lists_known(self):
+        registry = default_registry()
+        with pytest.raises(KeyError, match="avg"):
+            registry.get("nope")

@@ -1,0 +1,108 @@
+"""Property-based tests for §3.2.3's aggregate-state guarantees.
+
+A successful read must (a) aggregate only readings within the freshness
+horizon, (b) involve at least the critical mass of *distinct* devices, and
+(c) equal the aggregation function applied to exactly the fresh readings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import AggregateVarSpec, default_registry
+from repro.aggregation.window import SlidingWindow
+
+REGISTRY = default_registry()
+
+reading_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),          # sender
+        st.floats(min_value=-1e3, max_value=1e3,
+                  allow_nan=False),                      # value
+        st.floats(min_value=0.0, max_value=100.0),       # time
+    ),
+    min_size=0, max_size=60,
+)
+
+qos = st.tuples(st.integers(min_value=1, max_value=5),
+                st.floats(min_value=0.1, max_value=20.0))
+
+
+@given(reading_events, qos,
+       st.floats(min_value=0.0, max_value=120.0))
+@settings(max_examples=150)
+def test_read_guarantees(events, qos_params, now):
+    confidence, freshness = qos_params
+    spec = AggregateVarSpec("v", "avg", "s", confidence=confidence,
+                            freshness=freshness)
+    window = SlidingWindow(spec, REGISTRY.get("avg"))
+    latest = {}
+    for sender, value, time in events:
+        if time <= now:
+            window.add(sender, value, time)
+            if sender not in latest or time >= latest[sender][1]:
+                latest[sender] = (value, time)
+    result = window.evaluate(now)
+
+    fresh = {sender: value for sender, (value, time) in latest.items()
+             if time >= now - freshness}
+    if len(fresh) >= confidence:
+        # Valid read: value equals avg over exactly the fresh readings.
+        assert result.valid
+        assert result.contributors == len(fresh)
+        expected = sum(fresh.values()) / len(fresh)
+        assert abs(result.value - expected) < 1e-6 * max(
+            1.0, abs(expected))
+    else:
+        # Null flag: critical mass not met.
+        assert not result.valid
+        assert result.value is None
+
+
+@given(reading_events, qos)
+@settings(max_examples=80)
+def test_prune_never_affects_future_validity(events, qos_params):
+    """Pruning is an optimization: evaluating with or without interleaved
+    prunes gives identical results."""
+    confidence, freshness = qos_params
+    spec = AggregateVarSpec("v", "avg", "s", confidence=confidence,
+                            freshness=freshness)
+    pruned = SlidingWindow(spec, REGISTRY.get("avg"))
+    plain = SlidingWindow(spec, REGISTRY.get("avg"))
+    clock = 0.0
+    for sender, value, time in sorted(events, key=lambda e: e[2]):
+        clock = max(clock, time)
+        pruned.add(sender, value, time)
+        plain.add(sender, value, time)
+        pruned.prune(clock)
+    end = clock + 0.5
+    a = pruned.evaluate(end)
+    b = plain.evaluate(end)
+    assert a.valid == b.valid
+    if a.valid:
+        assert abs(a.value - b.value) < 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                          allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_aggregation_bounds(values):
+    """min ≤ avg ≤ max and the median lies within the same bounds."""
+    avg = REGISTRY.get("avg")(values)
+    low = REGISTRY.get("min")(values)
+    high = REGISTRY.get("max")(values)
+    median = REGISTRY.get("median")(values)
+    assert low <= avg <= high or abs(low - high) < 1e-9
+    assert low <= median <= high
+    assert REGISTRY.get("count")(values) == len(values)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=-100, max_value=100),
+                          st.floats(min_value=-100, max_value=100)),
+                min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_centroid_inside_bounding_box(points):
+    x, y = REGISTRY.get("centroid")(points)
+    assert min(p[0] for p in points) - 1e-9 <= x \
+        <= max(p[0] for p in points) + 1e-9
+    assert min(p[1] for p in points) - 1e-9 <= y \
+        <= max(p[1] for p in points) + 1e-9

@@ -1,0 +1,87 @@
+"""Unit tests for context type / tracking object declarations."""
+
+import pytest
+
+from repro.aggregation import AggregateVarSpec
+from repro.core import (ContextTypeDef, MethodDef, PortInvocation,
+                        TimerInvocation, TrackingObjectDef, WhenInvocation)
+
+
+def noop(ctx):
+    pass
+
+
+def make_def(**kwargs):
+    defaults = dict(name="tracker", activation="seen")
+    defaults.update(kwargs)
+    return ContextTypeDef(**defaults)
+
+
+class TestInvocations:
+    def test_timer_validation(self):
+        with pytest.raises(ValueError):
+            TimerInvocation(period=0.0)
+
+    def test_when_validation(self):
+        with pytest.raises(ValueError):
+            WhenInvocation(predicate=lambda ctx: True, poll_period=0.0)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            PortInvocation(port=-1)
+
+
+class TestTrackingObjectDef:
+    def test_duplicate_method_names_rejected(self):
+        methods = [MethodDef("m", TimerInvocation(1.0), noop),
+                   MethodDef("m", TimerInvocation(2.0), noop)]
+        with pytest.raises(ValueError):
+            TrackingObjectDef("o", methods)
+
+
+class TestContextTypeDef:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            make_def(name="")
+
+    def test_duplicate_aggregates_rejected(self):
+        with pytest.raises(ValueError):
+            make_def(aggregates=[AggregateVarSpec("v", "avg", "s"),
+                                 AggregateVarSpec("v", "sum", "s")])
+
+    def test_duplicate_objects_rejected(self):
+        objects = [TrackingObjectDef("o", [MethodDef(
+            "m", TimerInvocation(1.0), noop)])] * 2
+        with pytest.raises(ValueError):
+            make_def(objects=objects)
+
+    def test_aggregate_lookup(self):
+        definition = make_def(aggregates=[
+            AggregateVarSpec("location", "avg", "position")])
+        assert definition.aggregate("location").function == "avg"
+        with pytest.raises(KeyError):
+            definition.aggregate("missing")
+
+    def test_ports_map(self):
+        definition = make_def(objects=[TrackingObjectDef("o", [
+            MethodDef("a", PortInvocation(1), noop),
+            MethodDef("b", PortInvocation(2), noop),
+            MethodDef("c", TimerInvocation(1.0), noop),
+        ])])
+        ports = definition.ports()
+        assert set(ports) == {1, 2}
+        assert ports[1].name == "a"
+
+    def test_conflicting_ports_rejected(self):
+        definition = make_def(objects=[
+            TrackingObjectDef("o1", [MethodDef("a", PortInvocation(1),
+                                               noop)]),
+            TrackingObjectDef("o2", [MethodDef("b", PortInvocation(1),
+                                               noop)]),
+        ])
+        with pytest.raises(ValueError):
+            definition.ports()
+
+    def test_negative_delay_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            make_def(delay_estimate=-0.1)

@@ -1,0 +1,50 @@
+"""Tests for the CLI 'compile' subcommand."""
+
+from repro.cli import main
+
+GOOD = """
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report() { MySend(pursuer, self:label, location); }
+    end
+end context
+"""
+
+BAD = "begin context oops activation f( end context"
+
+
+def run(args):
+    lines = []
+    code = main(args, out=lines.append)
+    return code, "\n".join(lines)
+
+
+def test_compile_valid_program(tmp_path):
+    path = tmp_path / "prog.et"
+    path.write_text(GOOD)
+    code, output = run(["compile", str(path)])
+    assert code == 0
+    assert "begin context tracker" in output
+    assert "[ok: 1 context type(s): tracker]" in output
+
+
+def test_compile_reports_syntax_errors(tmp_path):
+    path = tmp_path / "bad.et"
+    path.write_text(BAD)
+    code, output = run(["compile", str(path)])
+    assert code == 1
+    assert "bad.et" in output
+
+
+def test_compile_missing_file():
+    code, output = run(["compile", "/no/such/file.et"])
+    assert code == 2
+
+
+def test_compile_requires_argument():
+    code, output = run(["compile"])
+    assert code == 2
+    assert "missing" in output

@@ -1,0 +1,75 @@
+"""Tests for the §6.1 deployment-sizing arithmetic."""
+
+import pytest
+
+from repro.experiments.sizing import (T72_MASS_KG, grid_spacing_for_coverage,
+                                      hops_per_second,
+                                      magnetic_detection_range,
+                                      motes_for_area, paper_case_study,
+                                      plan_deployment, seconds_per_hop)
+
+
+class TestCubeLaw:
+    def test_t72_detected_around_100m(self):
+        """Paper: '30 × 40^(1/3) which amounts to about 100 meters'."""
+        detection = magnetic_detection_range(T72_MASS_KG)
+        assert detection == pytest.approx(100.0, rel=0.05)
+
+    def test_reference_target_at_reference_range(self):
+        assert magnetic_detection_range(1100.0) == pytest.approx(30.0)
+
+    def test_eight_times_mass_doubles_range(self):
+        base = magnetic_detection_range(1000.0)
+        assert magnetic_detection_range(8000.0) == pytest.approx(2 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            magnetic_detection_range(0.0)
+        with pytest.raises(ValueError):
+            magnetic_detection_range(10.0, reference_mass_kg=0.0)
+
+
+class TestGridGeometry:
+    def test_spacing_for_coverage(self):
+        """Paper: detection at 100 m ⇒ grid about 140 m apart."""
+        spacing = grid_spacing_for_coverage(100.0)
+        assert spacing == pytest.approx(141.4, rel=0.01)
+
+    def test_worst_case_cell_center_covered(self):
+        detection = 100.0
+        spacing = grid_spacing_for_coverage(detection)
+        worst_case = spacing / (2 ** 0.5)
+        assert worst_case <= detection + 1e-9
+
+    def test_motes_for_border_strip(self):
+        """Paper: 70 km × 5 km at 140 m 'roughly 18,000 sensor devices'."""
+        count = motes_for_area(70_000.0, 5_000.0, 140.0)
+        assert 17_000 <= count <= 19_000
+
+
+class TestSpeeds:
+    def test_t72_crosses_a_hop_in_11_seconds(self):
+        """Paper: 'a T-72 tank will cover one hop every 11.2 seconds'."""
+        assert seconds_per_hop(45.0, 140.0) == pytest.approx(11.2,
+                                                             rel=0.01)
+
+    def test_hops_per_second_inverse(self):
+        assert hops_per_second(45.0, 140.0) == pytest.approx(1 / 11.2,
+                                                             rel=0.01)
+
+
+class TestPlan:
+    def test_paper_case_study_reproduces_figures(self):
+        plan = paper_case_study()
+        assert plan.detection_range_m == pytest.approx(100.0, rel=0.05)
+        assert plan.grid_spacing_m == pytest.approx(140.0)
+        assert 17_000 <= plan.mote_count <= 19_000
+        assert plan.seconds_per_hop == pytest.approx(11.2, rel=0.01)
+        summary = plan.summary()
+        assert "44t" in summary and "140 m" in summary
+
+    def test_plan_smaller_target_needs_denser_grid(self):
+        car = plan_deployment(1100.0, 60.0, 10_000.0, 1_000.0)
+        tank = plan_deployment(T72_MASS_KG, 60.0, 10_000.0, 1_000.0)
+        assert car.grid_spacing_m < tank.grid_spacing_m
+        assert car.mote_count > tank.mote_count

@@ -1,0 +1,134 @@
+"""Edge-case tests for the group management state machine."""
+
+from repro.groups import GroupConfig, GroupManager, Role
+from repro.sensing import SensorField
+from repro.sim import Simulator
+
+
+class Harness:
+    def __init__(self, count=6, seed=3, config=None,
+                 communication_radius=10.0):
+        self.sim = Simulator(seed=seed)
+        self.field = SensorField(
+            self.sim, communication_radius=communication_radius)
+        self.sensing = set()
+        self.config = config or GroupConfig(heartbeat_period=0.5,
+                                            suppression_range=None)
+        self.managers = {}
+        for i in range(count):
+            mote = self.field.add_mote((float(i), 0.0))
+            manager = GroupManager(mote)
+            manager.track("t", lambda m: m.node_id in self.sensing,
+                          self.config)
+            manager.start()
+            self.managers[i] = manager
+
+    def run(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+    def roles(self):
+        return {n: m.role("t") for n, m in self.managers.items()}
+
+
+def test_relinquish_with_no_claimants_dissolves_label():
+    """The last sensing node relinquishes into silence: the label dies
+    and the node keeps only wait memory."""
+    h = Harness()
+    h.sensing = {2}
+    h.run(3.0)
+    assert h.managers[2].role("t") is Role.LEADER
+    h.sensing = set()
+    h.run(3.0)
+    assert all(role is Role.IDLE for role in h.roles().values())
+    relinquishes = list(h.sim.trace_records("gm.relinquish"))
+    assert len(relinquishes) == 1
+    claims = list(h.sim.trace_records("gm.claim"))
+    assert claims == []
+
+
+def test_wait_memory_expiry_creates_fresh_label():
+    """After the wait timer expires, a returning stimulus gets a NEW
+    label — 'the choice of the wait timer depends on how far to maintain
+    memory of nearby events'."""
+    h = Harness()
+    h.sensing = {2}
+    h.run(3.0)
+    first_label = h.managers[2].label("t")
+    h.sensing = set()
+    # Wait timeout = 4.2 × 0.5 = 2.1 s; run far past it.
+    h.run(10.0)
+    h.sensing = {2}
+    h.run(3.0)
+    second_label = h.managers[2].label("t")
+    assert second_label is not None
+    assert second_label != first_label
+
+
+def test_quick_return_within_wait_window_keeps_label():
+    h = Harness()
+    h.sensing = {2}
+    h.run(3.0)
+    first_label = h.managers[2].label("t")
+    h.sensing = set()
+    h.run(0.6)  # well inside the 2.1 s wait window
+    h.sensing = {2}
+    h.run(2.0)
+    assert h.managers[2].label("t") == first_label
+
+
+def test_takeover_only_mode_never_relinquishes():
+    h = Harness(config=GroupConfig(heartbeat_period=0.5,
+                                   relinquish=False,
+                                   suppression_range=None))
+    h.sensing = {2, 3}
+    h.run(3.0)
+    h.sensing = {3}
+    h.run(3.0)
+    assert list(h.sim.trace_records("gm.relinquish")) == []
+    # The silent stepdown is recorded instead, and 3 recovers by timeout.
+    if h.managers[2].role("t") is Role.IDLE:
+        assert (list(h.sim.trace_records("gm.silent_stepdown"))
+                or h.managers[3].role("t") is Role.LEADER)
+    h.run(3.0)
+    assert h.managers[3].role("t") is Role.LEADER
+
+
+def test_simultaneous_mass_sensing_converges():
+    """Every node starts sensing in the same instant (a field-wide event):
+    formation jitter + suppression still converge to one label."""
+    h = Harness(count=8)
+    h.sensing = set(range(8))
+    h.run(8.0)
+    leaders = [n for n, r in h.roles().items() if r is Role.LEADER]
+    assert len(leaders) == 1
+    labels = {m.label("t") for m in h.managers.values()}
+    assert len(labels) == 1
+
+
+def test_flapping_sensor_does_not_leak_labels():
+    """A node whose sensing flaps on/off every second stays on one label
+    (wait memory bridges the gaps)."""
+    h = Harness()
+    labels_seen = set()
+    for cycle in range(6):
+        h.sensing = {2}
+        h.run(1.0)
+        label = h.managers[2].label("t")
+        if label:
+            labels_seen.add(label)
+        h.sensing = set()
+        h.run(1.0)
+    assert len(labels_seen) == 1
+
+
+def test_heartbeat_tx_range_limits_wait_memory_reach():
+    config = GroupConfig(heartbeat_period=0.5, heartbeat_tx_range=1.5,
+                         member_rebroadcast=False,
+                         suppression_range=None)
+    h = Harness(config=config)
+    h.sensing = {0}
+    h.run(3.0)
+    near = h.managers[1]._types["t"]
+    far = h.managers[4]._types["t"]
+    assert near.wait_memory is not None
+    assert far.wait_memory is None

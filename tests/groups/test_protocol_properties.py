@@ -1,0 +1,95 @@
+"""Property-based tests for group management invariants.
+
+Under any (bounded) loss rate, topology and heartbeat period, a single
+stationary stimulus must converge to exactly one leader whose label every
+sensing node shares — the coherence invariant the whole system rests on.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.groups import GroupConfig, GroupManager, Role
+from repro.sensing import SensorField
+from repro.sim import Simulator
+
+
+def build(seed, loss, heartbeat_period, count, sensing_ids):
+    sim = Simulator(seed=seed)
+    field = SensorField(sim, communication_radius=10.0,
+                        base_loss_rate=loss)
+    managers = {}
+    for i in range(count):
+        mote = field.add_mote((float(i), 0.0))
+        manager = GroupManager(mote)
+        # suppression_range=None: these harness stimuli have no physical
+        # extent, so the multi-target proximity gate does not apply.
+        manager.track("t", lambda m: m.node_id in sensing_ids,
+                      GroupConfig(heartbeat_period=heartbeat_period,
+                                  suppression_range=None))
+        manager.start()
+        managers[i] = manager
+    return sim, managers
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       loss=st.floats(min_value=0.0, max_value=0.3),
+       heartbeat_period=st.floats(min_value=0.1, max_value=1.0),
+       sensing_count=st.integers(min_value=1, max_value=5))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stationary_stimulus_converges_to_one_leader(
+        seed, loss, heartbeat_period, sensing_count):
+    count = 8
+    sensing_ids = set(range(sensing_count))
+    sim, managers = build(seed, loss, heartbeat_period, count,
+                          sensing_ids)
+    # Convergence horizon: generously many heartbeat periods.
+    sim.run(until=30.0 * heartbeat_period + 5.0)
+
+    leaders = [n for n, m in managers.items()
+               if m.role("t") is Role.LEADER]
+    assert len(leaders) == 1
+    label = managers[leaders[0]].label("t")
+    for node in sensing_ids:
+        role = managers[node].role("t")
+        assert role in (Role.LEADER, Role.MEMBER)
+        assert managers[node].label("t") == label
+    # Non-sensing nodes never join the group.
+    for node in set(range(count)) - sensing_ids:
+        assert managers[node].role("t") is Role.IDLE
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       loss=st.floats(min_value=0.0, max_value=0.25))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stimulus_removal_dissolves_group(seed, loss):
+    sensing_ids = {1, 2, 3}
+    sim, managers = build(seed, loss, 0.5, 6, sensing_ids)
+    sim.run(until=10.0)
+    sensing_ids.clear()
+    sim.run(until=30.0)
+    assert all(m.role("t") is Role.IDLE for m in managers.values())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_leader_failure_always_recovers_same_label(seed):
+    sensing_ids = {1, 2, 3}
+    sim, managers = build(seed, 0.1, 0.5, 6, sensing_ids)
+    sim.run(until=6.0)
+    leaders = [n for n, m in managers.items()
+               if m.role("t") is Role.LEADER]
+    assert len(leaders) == 1
+    label = managers[leaders[0]].label("t")
+    # Kill the leader (if it is a sensing node, others must take over).
+    victim = leaders[0]
+    managers[victim].mote.fail()
+    survivors = sensing_ids - {victim}
+    sim.run(until=20.0)
+    new_leaders = [n for n, m in managers.items()
+                   if m.role("t") is Role.LEADER and m.mote.alive]
+    assert len(new_leaders) == 1
+    assert new_leaders[0] in survivors
+    assert managers[new_leaders[0]].label("t") == label

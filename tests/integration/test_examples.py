@@ -1,0 +1,51 @@
+"""Every shipped example must run to completion — examples never rot."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "figure2_dsl.py",
+    "fire_monitoring.py",
+    "multi_vehicle_pursuit.py",
+    "intrusion_response.py",
+    "border_surveillance.py",
+]
+
+
+def run_example(filename):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    output = io.StringIO()
+    with redirect_stdout(output):
+        spec.loader.exec_module(module)
+        module.main()
+    return output.getvalue()
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename):
+    output = run_example(filename)
+    assert output.strip(), f"{filename} produced no output"
+
+
+def test_quickstart_reports_a_track():
+    output = run_example("quickstart.py")
+    assert "tracked=" in output
+    assert "tracker#" in output
+
+
+def test_border_surveillance_reproduces_case_study_numbers():
+    output = run_example("border_surveillance.py")
+    assert "140 m" in output
+    assert "coherent" in output

@@ -1,0 +1,73 @@
+"""Property-based tests for the EnviroTrack language pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_source, tokenize
+from repro.naming import FieldBounds, hash_to_coordinate
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True) \
+    .filter(lambda s: s not in {
+        "begin", "end", "context", "object", "activation", "deactivation",
+        "invocation", "and", "or", "not", "true", "false", "if", "else",
+        "self", "min", "ms", "s"})
+
+
+@given(identifiers, identifiers, identifiers,
+       st.integers(min_value=1, max_value=9),
+       st.floats(min_value=0.1, max_value=60.0),
+       st.floats(min_value=0.1, max_value=60.0))
+@settings(max_examples=60)
+def test_generated_programs_round_trip(ctx_name, var_name, obj_name,
+                                       confidence, freshness, period):
+    """Any well-formed generated program parses into the declared
+    structure with the declared attribute values."""
+    if len({ctx_name, var_name, obj_name}) < 3:
+        return
+    source = f"""
+    begin context {ctx_name}
+        activation: magnetic_sensor_reading()
+        {var_name} : avg(position) confidence={confidence}, \
+freshness={freshness:.3f}s
+        begin object {obj_name}
+            invocation: TIMER({period:.3f}s)
+            run() {{
+                MySend(pursuer, self:label, {var_name});
+            }}
+        end
+    end context
+    """
+    program = parse_source(source)
+    context = program.context(ctx_name)
+    aggregate = context.aggregates[0]
+    assert aggregate.name == var_name
+    assert aggregate.attribute("confidence") == confidence
+    assert abs(aggregate.attribute("freshness") - freshness) < 1e-2
+    function = context.objects[0].functions[0]
+    assert abs(function.invocation.period - period) < 1e-2
+
+
+@given(st.text(alphabet="abcdefgh(){}:;=<>,.0123456789 \n", max_size=80))
+@settings(max_examples=120)
+def test_lexer_terminates_or_raises_cleanly(source):
+    """The lexer either tokenizes or raises LexError — never hangs or
+    raises anything else."""
+    from repro.lang import LexError
+    try:
+        tokens = tokenize(source)
+    except LexError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@given(st.text(min_size=0, max_size=40),
+       st.floats(min_value=-100, max_value=100),
+       st.floats(min_value=-100, max_value=100),
+       st.floats(min_value=1.0, max_value=1000.0),
+       st.floats(min_value=1.0, max_value=1000.0))
+@settings(max_examples=100)
+def test_geohash_total_and_in_bounds(name, x_lo, y_lo, width, height):
+    bounds = FieldBounds(x_lo, y_lo, x_lo + width, y_lo + height)
+    point = hash_to_coordinate(name, bounds)
+    assert bounds.contains(point)
+    assert hash_to_coordinate(name, bounds) == point

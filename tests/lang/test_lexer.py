@@ -1,0 +1,80 @@
+"""Unit tests for the EnviroTrack language lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("begin context tracker end")
+    assert [(t.kind, t.text) for t in tokens[:-1]] == [
+        ("keyword", "begin"), ("keyword", "context"),
+        ("ident", "tracker"), ("keyword", "end")]
+
+
+def test_numbers_with_time_units():
+    tokens = tokenize("5s 250ms 2min 3 1.5s")
+    values = [t.value for t in tokens if t.kind == "number"]
+    assert values == pytest.approx([5.0, 0.25, 120.0, 3.0, 1.5])
+
+
+def test_unit_not_confused_with_identifier():
+    tokens = tokenize("5seconds")
+    # '5' then identifier 'seconds' (no unit split), not '5s' + 'econds'.
+    assert tokens[0].kind == "number" and tokens[0].value == 5.0
+    assert tokens[1].kind == "ident" and tokens[1].text == "seconds"
+
+
+def test_multi_char_operators_maximal_munch():
+    assert texts("a <= b >= c == d != e") == \
+        ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+
+def test_strings():
+    tokens = tokenize("'hello' \"world\"")
+    assert [t.value for t in tokens if t.kind == "string"] == \
+        ["hello", "world"]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_comments_ignored():
+    source = """
+    begin // a line comment
+    # a hash comment
+    end
+    """
+    assert texts(source) == ["begin", "end"]
+
+
+def test_line_and_column_positions():
+    tokens = tokenize("a\n  b")
+    a, b = tokens[0], tokens[1]
+    assert (a.line, a.column) == (1, 1)
+    assert (b.line, b.column) == (2, 3)
+
+
+def test_unknown_character_rejected():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("a @ b")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_eof_token_terminates():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+
+def test_self_label_tokens():
+    assert texts("self:label") == ["self", ":", "label"]

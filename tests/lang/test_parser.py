@@ -1,0 +1,182 @@
+"""Unit tests for the EnviroTrack language parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse_source
+from repro.lang.ast import (Binary, Call, CallStatement, IfStatement,
+                            Literal, Name, SelfLabel)
+
+FIGURE2 = """
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            MySend(pursuer, self:label, location);
+        }
+    end
+end context
+"""
+
+
+def test_figure2_program_parses():
+    program = parse_source(FIGURE2)
+    context = program.context("tracker")
+    assert isinstance(context.activation, Call)
+    assert context.activation.name == "magnetic_sensor_reading"
+    assert len(context.aggregates) == 1
+    assert len(context.objects) == 1
+
+
+def test_aggregate_declaration_attributes():
+    program = parse_source(FIGURE2)
+    aggregate = program.context("tracker").aggregates[0]
+    assert aggregate.name == "location"
+    assert aggregate.function == "avg"
+    assert aggregate.sensors == ("position",)
+    assert aggregate.attribute("confidence") == 2
+    assert aggregate.attribute("freshness") == pytest.approx(1.0)
+    assert aggregate.attribute("missing", "dflt") == "dflt"
+
+
+def test_object_and_invocation():
+    program = parse_source(FIGURE2)
+    function = program.context("tracker").objects[0].functions[0]
+    assert function.name == "report_function"
+    assert function.invocation.kind == "timer"
+    assert function.invocation.period == pytest.approx(5.0)
+    statement = function.body[0]
+    assert isinstance(statement, CallStatement)
+    assert statement.call.name == "MySend"
+    assert isinstance(statement.call.args[0], Name)
+    assert isinstance(statement.call.args[1], SelfLabel)
+
+
+def test_when_invocation_condition():
+    source = """
+    begin context fire
+        activation: temperature() > 180
+        avg_temp : avg(temperature) confidence=3, freshness=2s
+        begin object alarm
+            invocation: avg_temp > 300
+            raise_alarm() { log(avg_temp); }
+        end
+    end context
+    """
+    program = parse_source(source)
+    function = program.context("fire").objects[0].functions[0]
+    assert function.invocation.kind == "when"
+    condition = function.invocation.condition
+    assert isinstance(condition, Binary) and condition.op == ">"
+
+
+def test_port_invocation():
+    source = """
+    begin context relay
+        activation: motion_sensor_reading()
+        begin object receiver
+            invocation: PORT(7)
+            on_message() { log(args); }
+        end
+    end context
+    """
+    function = parse_source(source).context("relay").objects[0].functions[0]
+    assert function.invocation.kind == "port"
+    assert function.invocation.port == 7
+
+
+def test_deactivation_clause():
+    source = """
+    begin context hysteresis
+        activation: temperature() > 200
+        deactivation: temperature() < 150
+    end context
+    """
+    context = parse_source(source).context("hysteresis")
+    assert context.deactivation is not None
+
+
+def test_multiple_contexts():
+    source = """
+    begin context a
+        activation: temperature() > 1
+    end context
+    begin context b
+        activation: temperature() > 2
+    end context
+    """
+    program = parse_source(source)
+    assert [c.name for c in program.contexts] == ["a", "b"]
+
+
+def test_if_else_statement():
+    source = """
+    begin context c
+        activation: light()
+        v : avg(light) confidence=1, freshness=1s
+        begin object o
+            invocation: TIMER(1s)
+            f() {
+                if (v > 10) { log(v); } else { x = 1; }
+            }
+        end
+    end context
+    """
+    function = parse_source(source).context("c").objects[0].functions[0]
+    statement = function.body[0]
+    assert isinstance(statement, IfStatement)
+    assert len(statement.then_body) == 1
+    assert len(statement.else_body) == 1
+
+
+def test_operator_precedence():
+    source = """
+    begin context c
+        activation: a() + b() * 2 > 5 and not d()
+    end context
+    """
+    condition = parse_source(source).context("c").activation
+    # Top level is 'and'; left is '>'; its left is '+' with '*' nested.
+    assert condition.op == "and"
+    assert condition.left.op == ">"
+    assert condition.left.left.op == "+"
+    assert condition.left.left.right.op == "*"
+
+
+@pytest.mark.parametrize("bad_source", [
+    "",                                        # empty program
+    "begin context x end context",             # missing activation
+    "begin context x activation: f( end context",   # broken expr
+    """begin context x
+       activation: f()
+       begin object o end
+       end context""",                         # object with no functions
+    """begin context x
+       activation: f()
+       begin object o
+           invocation: TIMER(1s)
+           m() { 3 + 4; }
+       end
+       end context""",                         # non-call statement
+])
+def test_syntax_errors_rejected(bad_source):
+    with pytest.raises(ParseError):
+        parse_source(bad_source)
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as excinfo:
+        parse_source("begin context x\nactivation oops\nend context")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_literals():
+    source = """
+    begin context c
+        activation: true and not false
+    end context
+    """
+    condition = parse_source(source).context("c").activation
+    assert isinstance(condition.left, Literal)
+    assert condition.left.value is True

@@ -1,0 +1,92 @@
+"""Tests for the pretty-printer, including parse/print round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import format_expr, format_program, parse_source
+from repro.lang.ast import Binary, Call, Literal, Name
+
+FIGURE2 = """
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        ticks = 0;
+        invocation: TIMER(5s)
+        report_function() {
+            MySend(pursuer, self:label, location);
+            if (ticks > 3) { log(ticks); } else { ticks = ticks + 1; }
+        }
+        invocation: PORT(2)
+        on_query() {
+            invoke(src_label, 3, location, location);
+        }
+        invocation: location.valid and location[0] > 5
+        alarm() {
+            setState(seen, true);
+        }
+    end
+end context
+
+begin context fire
+    activation: temperature() > 180 and light()
+    deactivation: temperature() < 120
+    heat : max(temperature) confidence=3, freshness=2s
+    begin object watcher
+        invocation: TIMER(1s)
+        tick() { log(heat); }
+    end
+end context
+"""
+
+
+def test_round_trip_fixed_program():
+    program = parse_source(FIGURE2)
+    printed = format_program(program)
+    reparsed = parse_source(printed)
+    assert reparsed == program
+
+
+def test_printed_source_is_stable():
+    program = parse_source(FIGURE2)
+    once = format_program(program)
+    twice = format_program(parse_source(once))
+    assert once == twice
+
+
+def test_expression_parenthesization():
+    # (a or b) and c must keep its parentheses.
+    expr = Binary("and", Binary("or", Name("a"), Name("b")), Name("c"))
+    assert format_expr(expr) == "(a or b) and c"
+    # a or (b and c) needs none.
+    expr = Binary("or", Name("a"), Binary("and", Name("b"), Name("c")))
+    assert format_expr(expr) == "a or b and c"
+    # (a + b) * c keeps parentheses; a + b * c does not.
+    expr = Binary("*", Binary("+", Name("a"), Name("b")), Name("c"))
+    assert format_expr(expr) == "(a + b) * c"
+
+
+def test_literals():
+    assert format_expr(Literal(True)) == "true"
+    assert format_expr(Literal(2.0)) == "2"
+    assert format_expr(Literal(2.5)) == "2.5"
+    assert format_expr(Literal("hi")) == "'hi'"
+    assert format_expr(Call("f", (Literal(1.0), Name("x")))) == "f(1, x)"
+
+
+@given(st.floats(min_value=0.01, max_value=1e4),
+       st.integers(min_value=1, max_value=99))
+@settings(max_examples=50)
+def test_round_trip_generated_attributes(freshness, confidence):
+    source = f"""
+    begin context c
+        activation: light()
+        v : avg(light) confidence={confidence}, freshness={freshness!r}s
+        begin object o
+            invocation: TIMER(1s)
+            f() {{ log(v); }}
+        end
+    end context
+    """
+    program = parse_source(source)
+    assert parse_source(format_program(program)) == program

@@ -1,0 +1,46 @@
+"""Every shipped .et program must compile, format and round-trip."""
+
+import glob
+import os
+
+import pytest
+
+from repro.lang import compile_source, format_program, parse_source
+
+PROGRAMS_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples", "programs")
+PROGRAM_FILES = sorted(glob.glob(os.path.join(PROGRAMS_DIR, "*.et")))
+
+
+def test_programs_exist():
+    assert len(PROGRAM_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", PROGRAM_FILES,
+                         ids=[os.path.basename(p) for p in PROGRAM_FILES])
+def test_program_compiles(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    definitions = compile_source(source)
+    assert definitions
+    for definition in definitions:
+        assert definition.name
+        assert callable(definition.activation)
+
+
+@pytest.mark.parametrize("path", PROGRAM_FILES,
+                         ids=[os.path.basename(p) for p in PROGRAM_FILES])
+def test_program_round_trips(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = parse_source(source)
+    assert parse_source(format_program(program)) == program
+
+
+def test_cli_compiles_every_program(tmp_path):
+    from repro.cli import main
+
+    for path in PROGRAM_FILES:
+        lines = []
+        assert main(["compile", path], out=lines.append) == 0, path
+        assert any("[ok:" in line for line in lines)

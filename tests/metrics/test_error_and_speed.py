@@ -1,0 +1,99 @@
+"""Unit tests for tracking error and max-trackable-speed search."""
+
+import pytest
+
+from repro.metrics import compare_track, max_trackable_speed
+from repro.metrics.collectors import mean_metrics
+from repro.metrics.collectors import CommunicationMetrics
+
+
+class TestTrackingError:
+    def test_errors_against_ground_truth(self):
+        track = [(0.0, (0.0, 0.0)), (10.0, (1.0, 1.0))]
+        comparison = compare_track(track, lambda t: (t / 10.0, 0.0))
+        assert comparison.errors[0] == pytest.approx(0.0)
+        assert comparison.errors[1] == pytest.approx(1.0)
+        assert comparison.mean_error == pytest.approx(0.5)
+        assert comparison.max_error == pytest.approx(1.0)
+        assert comparison.rms_error == pytest.approx((0.5) ** 0.5)
+
+    def test_empty_track(self):
+        comparison = compare_track([], lambda t: (0.0, 0.0))
+        assert comparison.mean_error != comparison.mean_error  # NaN
+        assert comparison.ascii_plot() == "(no reports)"
+
+    def test_ascii_plot_renders(self):
+        track = [(float(i), (float(i), 0.5)) for i in range(10)]
+        comparison = compare_track(track, lambda t: (t, 0.5))
+        plot = comparison.ascii_plot(width=40, height=8)
+        assert "*" in plot
+        assert len(plot.splitlines()) == 8
+
+
+class TestSpeedSearch:
+    def test_finds_threshold(self):
+        result = max_trackable_speed(
+            lambda speed, seed: speed <= 2.0,
+            speeds=[0.5, 1.0, 2.0, 3.0, 4.0], repetitions=3)
+        assert result.max_trackable_speed == 2.0
+        assert result.passed(1.0)
+        assert not result.passed(3.0)
+
+    def test_majority_vote(self):
+        # Passes only on even seeds: 2 of 3 seeds (0, 1, 2) → majority.
+        result = max_trackable_speed(
+            lambda speed, seed: seed % 2 == 0 or speed < 1.5,
+            speeds=[1.0, 2.0], repetitions=3)
+        assert result.max_trackable_speed == 2.0
+
+    def test_early_stop_after_consecutive_failures(self):
+        calls = []
+
+        def probe(speed, seed):
+            calls.append(speed)
+            return False
+
+        result = max_trackable_speed(probe, speeds=[1, 2, 3, 4, 5],
+                                     repetitions=1,
+                                     stop_after_failures=2)
+        assert result.max_trackable_speed == 0.0
+        assert set(calls) == {1, 2}
+
+    def test_unique_seeds_per_run(self):
+        seeds = []
+        max_trackable_speed(
+            lambda speed, seed: seeds.append(seed) or True,
+            speeds=[1.0, 2.0], repetitions=3)
+        assert len(seeds) == len(set(seeds)) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_trackable_speed(lambda s, x: True, speeds=[])
+        with pytest.raises(ValueError):
+            max_trackable_speed(lambda s, x: True, speeds=[1.0],
+                                repetitions=0)
+        result = max_trackable_speed(lambda s, x: True, speeds=[1.0])
+        with pytest.raises(KeyError):
+            result.passed(9.9)
+
+
+class TestMeanMetrics:
+    def make(self, hb, msg, util):
+        return CommunicationMetrics(
+            heartbeat_loss_pct=hb, report_loss_pct=msg,
+            link_utilization_pct=util, heartbeats_sent=100,
+            reports_sent=50, frames_sent=200)
+
+    def test_averages_rows(self):
+        mean = mean_metrics([self.make(10, 4, 2), self.make(20, 8, 4)])
+        assert mean.heartbeat_loss_pct == pytest.approx(15.0)
+        assert mean.report_loss_pct == pytest.approx(6.0)
+        assert mean.link_utilization_pct == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_metrics([])
+
+    def test_as_row_formatting(self):
+        row = self.make(7.08, 3.05, 2.54).as_row()
+        assert "7.08" in row and "3.05" in row and "2.54" in row

@@ -1,0 +1,74 @@
+"""Tests for the timeline sampler."""
+
+import pytest
+
+from repro.experiments import TankScenario, build_app
+from repro.metrics import TimelineSampler
+
+
+def make_run(**scenario_kwargs):
+    scenario = TankScenario(columns=10, rows=2, seed=7,
+                            with_base_station=False, **scenario_kwargs)
+    app = build_app(scenario)
+    app.install()
+    sampler = TimelineSampler(app, period=2.0)
+    app.run(until=scenario.duration)
+    return app, sampler, scenario
+
+
+def test_samples_collected_at_period():
+    app, sampler, scenario = make_run()
+    assert len(sampler.samples) == pytest.approx(
+        scenario.duration / 2.0, abs=2)
+    times = [s.time for s in sampler.samples]
+    assert times == sorted(times)
+
+
+def test_leadership_spans_follow_target():
+    app, sampler, _ = make_run()
+    spans = sampler.leadership_spans("tracker")
+    assert spans, "no leadership observed"
+    # Leadership moves to higher-x nodes as the target advances.
+    first_leader = spans[0][0]
+    last_leader = spans[-1][0]
+    x_first = app.field.motes[first_leader].position[0]
+    x_last = app.field.motes[last_leader].position[0]
+    assert x_last > x_first
+
+
+def test_group_size_rises_then_falls():
+    app, sampler, _ = make_run()
+    series = sampler.group_size_series("tracker")
+    sizes = [size for _, size in series]
+    assert max(sizes) >= 2
+    assert sizes[-1] == 0  # target has left the field
+
+
+def test_targets_ground_truth_recorded():
+    app, sampler, scenario = make_run()
+    sample = sampler.samples[len(sampler.samples) // 2]
+    assert "tank" in sample.targets
+    x, y = sample.targets["tank"]
+    assert x == pytest.approx(
+        -scenario.start_margin + scenario.speed * sample.time, abs=1e-6)
+
+
+def test_stop_halts_sampling():
+    scenario = TankScenario(columns=8, rows=2, seed=7,
+                            with_base_station=False)
+    app = build_app(scenario)
+    app.install()
+    sampler = TimelineSampler(app, period=1.0)
+    app.run(until=5.0)
+    count = len(sampler.samples)
+    sampler.stop()
+    app.sim.run(until=20.0)
+    assert len(sampler.samples) == count
+
+
+def test_rejects_bad_period():
+    scenario = TankScenario(columns=8, rows=2, with_base_station=False)
+    app = build_app(scenario)
+    app.install()
+    with pytest.raises(ValueError):
+        TimelineSampler(app, period=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the directory service (§5.3)."""
+
+from repro.naming import DirectoryService, FieldBounds
+from repro.sensing import SensorField
+from repro.sim import Simulator
+from repro.transport import GeoRouter
+
+
+def build(columns=8, rows=8, communication_radius=2.0, entry_ttl=30.0):
+    sim = Simulator(seed=9)
+    field = SensorField(sim, communication_radius=communication_radius)
+    field.deploy_grid(columns, rows)
+    bounds = FieldBounds(0.0, 0.0, float(columns - 1), float(rows - 1))
+    services = {}
+    for mote in field.mote_list():
+        router = GeoRouter(mote)
+        router.start()
+        service = DirectoryService(mote, router, bounds,
+                                   entry_ttl=entry_ttl, hash_margin=1.0)
+        service.start()
+        services[mote.node_id] = service
+    return sim, field, services
+
+
+def lookup(sim, services, node_id, context_type, timeout=5.0):
+    answers = []
+    services[node_id].lookup(context_type, answers.extend)
+    sim.run(until=sim.now + timeout)
+    return answers
+
+
+def test_register_then_query():
+    sim, field, services = build()
+    services[0].register("fire", "fire#3.1", location=(2.0, 2.0), leader=3)
+    sim.run(until=2.0)
+    answers = lookup(sim, services, 63, "fire")
+    assert [e.label for e in answers] == ["fire#3.1"]
+    assert answers[0].leader == 3
+    assert answers[0].location == (2.0, 2.0)
+
+
+def test_query_for_unknown_type_returns_empty():
+    sim, field, services = build()
+    answers = lookup(sim, services, 5, "ghost")
+    assert answers == []
+
+
+def test_multiple_labels_of_one_type():
+    sim, field, services = build()
+    # Staggered like real periodic refreshes (simultaneous fire-and-forget
+    # registrations can collide on the air; refresh repairs that in
+    # production use).
+    services[0].register("fire", "fire#1.1", (1.0, 1.0), leader=1)
+    sim.schedule(1.0, services[10].register, "fire", "fire#2.2",
+                 (5.0, 5.0), 2)
+    sim.run(until=3.0)
+    answers = lookup(sim, services, 30, "fire")
+    assert sorted(e.label for e in answers) == ["fire#1.1", "fire#2.2"]
+
+
+def test_update_refreshes_location():
+    sim, field, services = build()
+    services[0].register("car", "car#1.1", (0.0, 0.0), leader=1)
+    sim.run(until=2.0)
+    services[7].register("car", "car#1.1", (6.0, 0.0), leader=9)
+    sim.run(until=sim.now + 2.0)
+    answers = lookup(sim, services, 20, "car")
+    assert len(answers) == 1
+    assert answers[0].leader == 9
+    assert answers[0].location == (6.0, 0.0)
+
+
+def test_entries_expire_without_updates():
+    sim, field, services = build(entry_ttl=5.0)
+    services[0].register("car", "car#1.1", (0.0, 0.0), leader=1)
+    sim.run(until=2.0)
+    assert lookup(sim, services, 20, "car")
+    sim.run(until=20.0)
+    assert lookup(sim, services, 20, "car") == []
+
+
+def test_replication_survives_directory_node_failure():
+    sim, field, services = build()
+    services[0].register("car", "car#1.1", (0.0, 0.0), leader=1)
+    sim.run(until=2.0)
+    # Find and kill the node holding the entry nearest the hash point.
+    holders = [node for node, service in services.items()
+               if service.entries_for("car")]
+    assert holders, "registration never stored"
+    primary = min(holders, key=lambda n: n)
+    field.fail_node(primary)
+    sim.run(until=sim.now + 1.0)
+    answers = lookup(sim, services, 40, "car", timeout=8.0)
+    assert [e.label for e in answers] == ["car#1.1"]
+
+
+def test_directory_point_is_shared_knowledge():
+    sim, field, services = build()
+    points = {service.directory_point("fire")
+              for service in services.values()}
+    assert len(points) == 1

@@ -1,0 +1,49 @@
+"""Unit tests for geographic hashing of type names."""
+
+import pytest
+
+from repro.naming import FieldBounds, hash_to_coordinate
+
+
+class TestFieldBounds:
+    def test_properties(self):
+        bounds = FieldBounds(0.0, 0.0, 10.0, 4.0)
+        assert bounds.width == 10.0
+        assert bounds.height == 4.0
+        assert bounds.contains((5.0, 2.0))
+        assert not bounds.contains((11.0, 2.0))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            FieldBounds(5.0, 0.0, 5.0, 4.0)
+
+    def test_shrunk_keeps_margin(self):
+        bounds = FieldBounds(0.0, 0.0, 10.0, 10.0).shrunk(1.0)
+        assert bounds.x_lo == 1.0 and bounds.x_hi == 9.0
+
+    def test_shrunk_noop_when_margin_too_large(self):
+        bounds = FieldBounds(0.0, 0.0, 2.0, 2.0)
+        assert bounds.shrunk(1.5) == bounds
+
+
+class TestHash:
+    BOUNDS = FieldBounds(0.0, 0.0, 20.0, 10.0)
+
+    def test_deterministic(self):
+        assert hash_to_coordinate("fire", self.BOUNDS) == \
+            hash_to_coordinate("fire", self.BOUNDS)
+
+    def test_always_inside_bounds(self):
+        for name in ("fire", "tracker", "CAR", "x" * 100, ""):
+            assert self.BOUNDS.contains(
+                hash_to_coordinate(name, self.BOUNDS))
+
+    def test_different_names_spread(self):
+        points = {hash_to_coordinate(f"type-{i}", self.BOUNDS)
+                  for i in range(50)}
+        assert len(points) == 50
+
+    def test_salt_rehomes(self):
+        plain = hash_to_coordinate("fire", self.BOUNDS)
+        salted = hash_to_coordinate("fire", self.BOUNDS, salt="v2")
+        assert plain != salted

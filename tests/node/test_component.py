@@ -1,0 +1,74 @@
+"""Unit tests for the TinyOS-style component base class."""
+
+from repro.node import Component, Mote
+from repro.radio import BROADCAST, Medium
+from repro.sim import Simulator
+
+
+class Echo(Component):
+    """Test component: answers every ping with a pong."""
+
+    name = "echo"
+
+    def __init__(self, mote):
+        super().__init__(mote)
+        self.pings = []
+        self.pongs = []
+
+    def on_start(self):
+        self.handle("ping", self._on_ping)
+        self.handle("pong", self._on_pong)
+
+    def _on_ping(self, frame):
+        self.pings.append(frame.src)
+        self.unicast(frame.src, "pong", {"re": frame.payload.get("n")})
+        self.record("ping_answered", src=frame.src)
+
+    def _on_pong(self, frame):
+        self.pongs.append(frame.payload["re"])
+
+
+def build():
+    sim = Simulator(seed=2)
+    medium = Medium(sim, communication_radius=5.0)
+    components = []
+    for i in range(2):
+        mote = Mote(sim, i, (float(i), 0.0), medium)
+        component = Echo(mote)
+        component.start()
+        components.append(component)
+    return sim, components
+
+
+def test_request_response_between_components():
+    sim, (a, b) = build()
+    a.broadcast("ping", {"n": 7})
+    sim.run(until=1.0)
+    assert b.pings == [0]
+    assert a.pongs == [7]
+
+
+def test_start_is_idempotent():
+    sim, (a, b) = build()
+    a.start()
+    a.start()
+    b.broadcast("ping", {"n": 1})
+    sim.run(until=1.0)
+    # Only one handler registration: exactly one pong.
+    assert a.pings == [1]
+    assert b.pongs == [1]
+
+
+def test_record_prefixes_component_name():
+    sim, (a, b) = build()
+    a.broadcast("ping", {"n": 1})
+    sim.run(until=1.0)
+    records = list(sim.trace_records("echo.ping_answered"))
+    assert len(records) == 1
+    assert records[0].node == 1
+
+
+def test_component_properties():
+    sim, (a, _) = build()
+    assert a.node_id == 0
+    assert a.now == sim.now

@@ -1,0 +1,101 @@
+"""Unit tests for the MAC layer."""
+
+import pytest
+
+from repro.radio import (BROADCAST, CsmaMac, Frame, Medium, NullMac,
+                         TransceiverPort, make_mac)
+from repro.sim import Simulator
+
+
+def build(radius=5.0):
+    sim = Simulator(seed=3)
+    medium = Medium(sim, communication_radius=radius)
+    inbox = []
+    for node_id, pos in [(0, (0.0, 0.0)), (1, (1.0, 0.0))]:
+        port = TransceiverPort(
+            node_id, lambda p=pos: p,
+            lambda frame, n=node_id: inbox.append((n, frame.kind)))
+        medium.attach(port)
+    return sim, medium, inbox
+
+
+def test_null_mac_transmits_immediately():
+    sim, medium, inbox = build()
+    mac = NullMac(sim, medium, lambda: (0.0, 0.0))
+    mac.send(Frame(src=0, dst=BROADCAST, kind="x"))
+    assert medium.channel_busy((1.0, 0.0))
+    sim.run()
+    assert inbox == [(1, "x")]
+    assert mac.sent == 1
+
+
+def test_csma_defers_while_channel_busy():
+    sim, medium, inbox = build()
+    occupier = NullMac(sim, medium, lambda: (0.0, 0.0))
+    csma = CsmaMac(sim, medium, lambda: (1.0, 0.0))
+    occupier.send(Frame(src=0, dst=BROADCAST, kind="long"))
+    csma.send(Frame(src=1, dst=BROADCAST, kind="deferred"))
+    sim.run()
+    # Both frames delivered; the CSMA one was deferred, not collided.
+    kinds = sorted(kind for _, kind in inbox)
+    assert kinds == ["deferred", "long"]
+    assert medium.stats.receptions_dropped["collision"] == 0
+
+
+def test_csma_drops_after_max_attempts():
+    sim, medium, _ = build()
+    # Keep the channel busy with back-to-back long transmissions.
+    occupier = NullMac(sim, medium, lambda: (0.0, 0.0))
+
+    def keep_busy():
+        occupier.send(Frame(src=0, dst=BROADCAST, kind="noise",
+                            size_bits=50_000))  # 1s airtime
+        sim.schedule(0.9, keep_busy)
+
+    keep_busy()
+    csma = CsmaMac(sim, medium, lambda: (1.0, 0.0), max_attempts=3,
+                   backoff=(0.01, 0.02))
+    csma.send(Frame(src=1, dst=BROADCAST, kind="victim"))
+    sim.run(until=5.0)
+    assert csma.dropped == 1
+    assert csma.sent == 0
+
+
+def test_csma_queues_behind_inflight_frame():
+    # The first frame goes out immediately (idle channel); later frames
+    # queue behind the busy-channel backoff and all get delivered.
+    sim, medium, inbox = build()
+    csma = CsmaMac(sim, medium, lambda: (0.0, 0.0))
+    for i in range(3):
+        csma.send(Frame(src=0, dst=BROADCAST, kind=f"k{i}"))
+    assert csma.backlog >= 1
+    sim.run()
+    assert sorted(kind for _, kind in inbox) == ["k0", "k1", "k2"]
+    assert csma.sent == 3
+
+
+def test_csma_queue_overflow_drops():
+    sim, medium, _ = build()
+    csma = CsmaMac(sim, medium, lambda: (0.0, 0.0), queue_limit=2)
+    for i in range(6):
+        csma.send(Frame(src=0, dst=BROADCAST, kind=f"k{i}"))
+    # First transmitted immediately; second backing off; two queued; the
+    # rest dropped on overflow.
+    assert csma.dropped == 2
+    sim.run()
+
+
+def test_make_mac_factory():
+    sim, medium, _ = build()
+    assert isinstance(make_mac("null", sim, medium, lambda: (0, 0)),
+                      NullMac)
+    assert isinstance(make_mac("csma", sim, medium, lambda: (0, 0)),
+                      CsmaMac)
+    with pytest.raises(ValueError):
+        make_mac("tdma", sim, medium, lambda: (0, 0))
+
+
+def test_csma_rejects_bad_attempts():
+    sim, medium, _ = build()
+    with pytest.raises(ValueError):
+        CsmaMac(sim, medium, lambda: (0, 0), max_attempts=0)

@@ -1,0 +1,106 @@
+"""Unit tests for sensor field deployment and sensor kits."""
+
+import pytest
+
+from repro.sensing import LineTrajectory, SensorField, Target
+from repro.sim import Simulator
+
+
+def make_field(**kwargs):
+    return SensorField(Simulator(seed=2), **kwargs)
+
+
+class TestDeployment:
+    def test_grid_positions_row_major(self):
+        field = make_field()
+        motes = field.deploy_grid(3, 2)
+        assert len(motes) == 6
+        assert motes[0].position == (0.0, 0.0)
+        assert motes[2].position == (2.0, 0.0)
+        assert motes[3].position == (0.0, 1.0)
+
+    def test_grid_spacing_and_origin(self):
+        field = make_field()
+        motes = field.deploy_grid(2, 1, spacing=2.0, origin=(1.0, 1.0))
+        assert motes[1].position == (3.0, 1.0)
+
+    def test_random_deployment_in_bounds(self):
+        field = make_field()
+        motes = field.deploy_random(25, (0.0, 0.0, 5.0, 5.0))
+        for mote in motes:
+            x, y = mote.position
+            assert 0 <= x <= 5 and 0 <= y <= 5
+
+    def test_jittered_grid_near_lattice(self):
+        field = make_field()
+        motes = field.deploy_jittered_grid(4, 4, jitter=0.2)
+        for index, mote in enumerate(motes):
+            col, row = index % 4, index // 4
+            assert abs(mote.position[0] - col) <= 0.2
+            assert abs(mote.position[1] - row) <= 0.2
+
+    def test_duplicate_node_id_rejected(self):
+        field = make_field()
+        field.add_mote((0, 0), node_id=5)
+        with pytest.raises(ValueError):
+            field.add_mote((1, 1), node_id=5)
+
+    def test_validation(self):
+        field = make_field()
+        with pytest.raises(ValueError):
+            field.deploy_grid(0, 2)
+        with pytest.raises(ValueError):
+            field.deploy_random(0, (0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            field.deploy_random(1, (1, 1, 0, 0))
+
+
+class TestEnvironment:
+    def test_target_registry(self):
+        field = make_field()
+        target = Target("car", "vehicle", LineTrajectory((0, 0), 0.1),
+                        signature_radius=1.0)
+        field.add_target(target)
+        assert field.target("car") is target
+        with pytest.raises(ValueError):
+            field.add_target(Target("car", "vehicle",
+                                    LineTrajectory((0, 0), 0.1)))
+        field.remove_target("car")
+        with pytest.raises(KeyError):
+            field.target("car")
+
+    def test_motes_sensing_ground_truth(self):
+        field = make_field()
+        field.deploy_grid(5, 1)
+        field.add_target(Target("car", "vehicle",
+                                LineTrajectory((2.0, 0.0), 0.0),
+                                signature_radius=1.0))
+        assert field.motes_sensing("car") == [1, 2, 3]
+
+    def test_detection_sensor_kit(self):
+        field = make_field()
+        field.deploy_grid(3, 1)
+        field.add_target(Target("car", "vehicle",
+                                LineTrajectory((0.0, 0.0), 0.0),
+                                signature_radius=0.5))
+        field.install_detection_sensors("seen", kinds=["vehicle"])
+        assert field.motes[0].read_sensor("seen") is True
+        assert field.motes[2].read_sensor("seen") is False
+
+    def test_magnetometer_kit(self):
+        field = make_field()
+        field.deploy_grid(3, 1)
+        field.add_target(Target("tank", "vehicle",
+                                LineTrajectory((0.0, 0.0), 0.0),
+                                signature_radius=1.0,
+                                attributes={"ferrous_mass": 40000.0}))
+        field.install_magnetometers(threshold=1.0)
+        assert field.motes[0].read_sensor("magnetic") > \
+            field.motes[2].read_sensor("magnetic")
+        assert field.motes[0].read_sensor("magnetic_detect") is True
+
+    def test_every_mote_has_position_sensor(self):
+        field = make_field()
+        field.deploy_grid(2, 2)
+        for mote in field.mote_list():
+            assert mote.read_sensor("position") == mote.position

@@ -1,0 +1,118 @@
+"""Unit tests for targets and sensor models."""
+
+import pytest
+
+from repro.sensing import (GrowingTarget, LineTrajectory, StaticPoint,
+                           Target, fire_target)
+from repro.sensing.sensors import (ambient_scalar_sensor,
+                                   binary_detection_sensor, magnetic_sensor,
+                                   threshold_detector)
+
+
+def make_target(radius=1.0, speed=0.0, kind="vehicle", **attrs):
+    return Target("t", kind, LineTrajectory((0.0, 0.0), speed),
+                  signature_radius=radius, attributes=attrs)
+
+
+class TestTarget:
+    def test_detectable_within_signature_radius(self):
+        target = make_target(radius=2.0)
+        assert target.detectable_from((1.9, 0.0), 0.0)
+        assert not target.detectable_from((2.1, 0.0), 0.0)
+
+    def test_lifetime_window(self):
+        target = Target("t", "vehicle", StaticPoint((0, 0)),
+                        signature_radius=1.0, active_from=5.0,
+                        active_until=10.0)
+        assert not target.detectable_from((0, 0), 4.9)
+        assert target.detectable_from((0, 0), 7.0)
+        assert not target.detectable_from((0, 0), 10.1)
+
+    def test_moving_target_detection_follows_position(self):
+        target = make_target(radius=1.0, speed=1.0)
+        assert target.detectable_from((0.0, 0.0), 0.0)
+        assert not target.detectable_from((0.0, 0.0), 5.0)
+        assert target.detectable_from((5.0, 0.0), 5.0)
+
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_target(radius=0.0)
+
+
+class TestGrowingTarget:
+    def test_fire_grows_over_time(self):
+        fire = fire_target("f", (0.0, 0.0), radius=1.0,
+                           ignition_time=10.0, growth_rate=0.1)
+        assert isinstance(fire, GrowingTarget)
+        assert fire.radius_at(5.0) == 0.0  # not ignited yet
+        assert fire.radius_at(10.0) == pytest.approx(1.0)
+        assert fire.radius_at(20.0) == pytest.approx(2.0)
+        assert not fire.detectable_from((1.5, 0.0), 10.0)
+        assert fire.detectable_from((1.5, 0.0), 20.0)
+
+    def test_max_radius_caps_growth(self):
+        fire = GrowingTarget("f", "fire", StaticPoint((0, 0)),
+                             signature_radius=1.0, growth_rate=1.0,
+                             max_radius=3.0)
+        assert fire.radius_at(100.0) == pytest.approx(3.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSensors:
+    def test_binary_detection_filters_by_kind(self):
+        clock = FakeClock()
+        targets = [make_target(kind="vehicle"),
+                   Target("f", "fire", StaticPoint((10.0, 0.0)),
+                          signature_radius=1.0)]
+        vehicle_only = binary_detection_sensor(
+            clock, (0.0, 0.0), lambda: targets, kinds=["vehicle"])
+        fire_only = binary_detection_sensor(
+            clock, (0.0, 0.0), lambda: targets, kinds=["fire"])
+        assert vehicle_only() is True
+        assert fire_only() is False
+
+    def test_magnetic_cube_law(self):
+        clock = FakeClock()
+        target = make_target(ferrous_mass=1000.0)
+        sensor_near = magnetic_sensor(clock, (0.4, 0.0), lambda: [target])
+        sensor_far = magnetic_sensor(clock, (0.8, 0.0), lambda: [target])
+        # Double the distance → one eighth the field strength.
+        assert sensor_near() == pytest.approx(8 * sensor_far(), rel=1e-6)
+
+    def test_magnetic_ignores_nonferrous(self):
+        clock = FakeClock()
+        target = make_target()  # no ferrous_mass attribute
+        sensor = magnetic_sensor(clock, (0.5, 0.0), lambda: [target])
+        assert sensor() == 0.0
+
+    def test_threshold_detector(self):
+        values = iter([0.5, 2.0])
+        detector = threshold_detector(lambda: next(values), threshold=1.0)
+        assert detector() is False
+        assert detector() is True
+
+    def test_ambient_scalar_reads_target_attribute(self):
+        clock = FakeClock()
+        fire = fire_target("f", (0.0, 0.0), radius=2.0, temperature=400.0)
+        inside = ambient_scalar_sensor(clock, (1.0, 0.0), lambda: [fire],
+                                       "temperature", ambient=25.0)
+        outside = ambient_scalar_sensor(clock, (5.0, 0.0), lambda: [fire],
+                                        "temperature", ambient=25.0)
+        assert inside() == pytest.approx(400.0)
+        assert outside() == pytest.approx(25.0)
+
+    def test_sensors_track_time(self):
+        clock = FakeClock()
+        target = make_target(radius=1.0, speed=1.0)
+        detector = binary_detection_sensor(clock, (5.0, 0.0),
+                                           lambda: [target])
+        assert detector() is False
+        clock.t = 5.0
+        assert detector() is True

@@ -1,0 +1,81 @@
+"""Unit tests for target trajectories."""
+
+import math
+
+import pytest
+
+from repro.sensing import (LineTrajectory, RandomWalkTrajectory, StaticPoint,
+                           WaypointTrajectory)
+
+
+class TestStaticPoint:
+    def test_never_moves(self):
+        trajectory = StaticPoint((3.0, 4.0))
+        assert trajectory.position(0.0) == (3.0, 4.0)
+        assert trajectory.position(1e6) == (3.0, 4.0)
+        assert trajectory.speed_at(5.0) == pytest.approx(0.0)
+
+
+class TestLine:
+    def test_constant_velocity_along_x(self):
+        trajectory = LineTrajectory((0.0, 0.5), speed=0.1)
+        assert trajectory.position(0.0) == pytest.approx((0.0, 0.5))
+        assert trajectory.position(10.0) == pytest.approx((1.0, 0.5))
+
+    def test_heading(self):
+        trajectory = LineTrajectory((0.0, 0.0), speed=1.0,
+                                    heading=math.pi / 2)
+        x, y = trajectory.position(2.0)
+        assert x == pytest.approx(0.0, abs=1e-12)
+        assert y == pytest.approx(2.0)
+
+    def test_speed_at_matches_configured_speed(self):
+        trajectory = LineTrajectory((0.0, 0.0), speed=2.5)
+        assert trajectory.speed_at(3.0) == pytest.approx(2.5, rel=1e-3)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LineTrajectory((0.0, 0.0), speed=-1.0)
+
+
+class TestWaypoints:
+    def test_piecewise_linear_interpolation(self):
+        trajectory = WaypointTrajectory([(0, 0), (10, 0), (10, 5)],
+                                        speed=1.0)
+        assert trajectory.position(5.0) == pytest.approx((5.0, 0.0))
+        assert trajectory.position(10.0) == pytest.approx((10.0, 0.0))
+        assert trajectory.position(12.5) == pytest.approx((10.0, 2.5))
+
+    def test_stops_at_final_waypoint(self):
+        trajectory = WaypointTrajectory([(0, 0), (4, 0)], speed=2.0)
+        assert trajectory.total_time == pytest.approx(2.0)
+        assert trajectory.position(100.0) == pytest.approx((4.0, 0.0))
+
+    def test_before_start_clamps(self):
+        trajectory = WaypointTrajectory([(1, 1), (2, 2)], speed=1.0)
+        assert trajectory.position(-5.0) == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([], speed=1.0)
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, 0)], speed=0.0)
+
+
+class TestRandomWalk:
+    def test_deterministic_per_seed(self):
+        a = RandomWalkTrajectory((5, 5), 1.0, (0, 0, 10, 10), seed=3)
+        b = RandomWalkTrajectory((5, 5), 1.0, (0, 0, 10, 10), seed=3)
+        assert a.position(17.3) == b.position(17.3)
+
+    def test_stays_in_bounds(self):
+        trajectory = RandomWalkTrajectory((5, 5), 1.0, (0, 0, 10, 10),
+                                          seed=9, steps=64)
+        for t in range(0, 200, 7):
+            x, y = trajectory.position(float(t))
+            assert 0 <= x <= 10
+            assert 0 <= y <= 10
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkTrajectory((0, 0), 1.0, (5, 5, 5, 5))

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # clock advances to the horizon
+    sim.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending() == 0
+
+
+def test_events_scheduled_during_run_fire_in_order():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, fired.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(3.0, fired.append, "last")
+    sim.run()
+    assert fired == ["first", "nested", "last"]
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [(1, None)] or fired[0] is not None
+    assert sim.pending() == 1
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is not None
+    assert fired == ["a"]
+
+
+def test_step_on_empty_queue_returns_none():
+    assert Simulator().step() is None
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_trace_records_filterable():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.record("cat.a", node=1, x=1))
+    sim.schedule(2.0, lambda: sim.record("cat.b", node=2, x=2))
+    sim.run()
+    assert len(list(sim.trace_records("cat.a"))) == 1
+    assert len(list(sim.trace_records(node=2))) == 1
+    assert len(list(sim.trace_records())) == 2
+
+
+def test_trace_capacity_drops_oldest():
+    sim = Simulator(trace_capacity=2)
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: sim.record("c", idx=i))
+    sim.run()
+    assert [r.detail["idx"] for r in sim.trace] == [3, 4]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5

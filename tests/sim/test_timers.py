@@ -1,0 +1,125 @@
+"""Unit tests for one-shot, watchdog and periodic timers."""
+
+import pytest
+
+from repro.sim import OneShotTimer, PeriodicTimer, Simulator, WatchdogTimer
+
+
+class TestOneShot:
+    def test_fires_once_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run(until=10.0)
+        assert fired == [2.0]
+        assert timer.fire_count == 1
+
+    def test_restart_replaces_pending_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.start(5.0))
+        sim.run(until=10.0)
+        assert fired == [6.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = OneShotTimer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run(until=5.0)
+        assert fired == []
+        assert not timer.armed
+
+    def test_armed_reflects_state(self):
+        sim = Simulator()
+        timer = OneShotTimer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run(until=2.0)
+        assert not timer.armed
+
+
+class TestWatchdog:
+    def test_fires_after_silence(self):
+        sim = Simulator()
+        fired = []
+        dog = WatchdogTimer(sim, 1.0, lambda: fired.append(sim.now))
+        dog.kick()
+        sim.run(until=5.0)
+        assert fired == [1.0]
+
+    def test_kicks_postpone_expiry(self):
+        sim = Simulator()
+        fired = []
+        dog = WatchdogTimer(sim, 1.0, lambda: fired.append(sim.now))
+        dog.kick()
+        for t in (0.5, 1.0, 1.5):
+            sim.schedule(t, dog.kick)
+        sim.run(until=5.0)
+        assert fired == [2.5]
+
+    def test_rejects_nonpositive_timeout(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WatchdogTimer(sim, 0.0, lambda: None)
+
+
+class TestPeriodic:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_initial_delay_offsets_first_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now),
+                              initial_delay=0.25)
+        timer.start()
+        sim.run(until=2.5)
+        assert fired == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_schedule(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+        assert not timer.running
+
+    def test_callback_may_stop_itself(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, tick)
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_restart_resets_phase(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.5, timer.start)
+        sim.run(until=3.6)
+        assert fired == [1.0, 2.5, 3.5]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,77 @@
+"""Unit tests for the last-known-leader LRU table (§5.4)."""
+
+import pytest
+
+from repro.transport import LastKnownLeaderTable
+
+
+def test_update_and_get():
+    table = LastKnownLeaderTable(capacity=4)
+    table.update("a", leader=1, now=0.0)
+    pointer = table.get("a")
+    assert pointer is not None
+    assert pointer.leader == 1
+
+
+def test_newer_update_wins():
+    table = LastKnownLeaderTable()
+    table.update("a", 1, now=0.0)
+    table.update("a", 2, now=1.0)
+    assert table.get("a").leader == 2
+
+
+def test_stale_update_ignored():
+    """Reordered messages must not roll leadership information back."""
+    table = LastKnownLeaderTable()
+    table.update("a", 2, now=5.0)
+    table.update("a", 1, now=3.0)
+    assert table.get("a").leader == 2
+
+
+def test_lru_eviction_order():
+    table = LastKnownLeaderTable(capacity=2)
+    table.update("a", 1, now=0.0)
+    table.update("b", 2, now=1.0)
+    table.get("a")  # refresh a's recency
+    table.update("c", 3, now=2.0)  # evicts b, the least recently used
+    assert "a" in table
+    assert "b" not in table
+    assert "c" in table
+    assert table.evictions == 1
+
+
+def test_peek_does_not_refresh_recency():
+    table = LastKnownLeaderTable(capacity=2)
+    table.update("a", 1, now=0.0)
+    table.update("b", 2, now=1.0)
+    table.peek("a")
+    table.update("c", 3, now=2.0)  # evicts a despite the peek
+    assert "a" not in table
+
+
+def test_forget():
+    table = LastKnownLeaderTable()
+    table.update("a", 1, now=0.0)
+    table.forget("a")
+    assert table.get("a") is None
+    table.forget("missing")  # idempotent
+
+
+def test_labels_in_lru_order():
+    table = LastKnownLeaderTable(capacity=8)
+    for i, label in enumerate("abc"):
+        table.update(label, i, now=float(i))
+    table.get("a")
+    assert list(table.labels()) == ["b", "c", "a"]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LastKnownLeaderTable(capacity=0)
+
+
+def test_len_and_bounds():
+    table = LastKnownLeaderTable(capacity=3)
+    for i in range(10):
+        table.update(f"l{i}", i, now=float(i))
+    assert len(table) == 3
