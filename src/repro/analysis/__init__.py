@@ -1,13 +1,14 @@
 """Result rendering: dependency-free SVG charts of the paper's figures."""
 
-from .render import (figure3_chart, figure4_chart, figure5_chart,
-                     figure6_chart)
+from .render import (chaos_chart, figure3_chart, figure4_chart,
+                     figure5_chart, figure6_chart)
 from .svg import BarChart, LineChart, Series
 
 __all__ = [
     "BarChart",
     "LineChart",
     "Series",
+    "chaos_chart",
     "figure3_chart",
     "figure4_chart",
     "figure5_chart",

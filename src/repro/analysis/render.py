@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from ..experiments import (Figure3Result, Figure4Result, Figure5Result,
-                           Figure6Result)
+from ..experiments import (ChaosResult, Figure3Result, Figure4Result,
+                           Figure5Result, Figure6Result)
+from ..experiments.chaos import TAKEOVER_SLACK
 from .svg import BarChart, LineChart
 
 
@@ -53,6 +54,27 @@ def figure5_chart(result: Figure5Result) -> LineChart:
         if relinquish:
             chart.add_series(f"relinquish, event radius {radius:g}",
                              relinquish, dashed=True)
+    return chart
+
+
+def chaos_chart(result: ChaosResult) -> LineChart:
+    """Chaos: mean takeover latency vs heartbeat period, one series per
+    crash rate, with the §5.2 design bound as a dashed reference."""
+    chart = LineChart(
+        title="Chaos — Leader-Crash Recovery Latency",
+        x_label="Heartbeat period (s)",
+        y_label="Mean takeover latency (s)")
+    for crash_period in result.crash_periods():
+        series = result.series(crash_period)
+        if series:
+            chart.add_series(f"crash every {crash_period:g}s", series)
+    periods = result.heartbeat_periods()
+    if periods:
+        chart.add_series(
+            "bound: 2.1 x HB + slack",
+            [(period, 2.1 * period + TAKEOVER_SLACK)
+             for period in periods],
+            dashed=True, draw_markers=False)
     return chart
 
 

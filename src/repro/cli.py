@@ -5,6 +5,7 @@ Examples::
     python -m repro figure3 --svg figure3.svg
     python -m repro table1 --repetitions 3
     python -m repro figure5 --quick
+    python -m repro chaos --quick --svg chaos.svg
     python -m repro all --quick --out-dir figures/
 """
 
@@ -16,11 +17,12 @@ import sys
 import time
 from typing import Callable, Optional
 
-from .analysis import (figure3_chart, figure4_chart, figure5_chart,
-                       figure6_chart)
-from .experiments import figure3, figure4, figure5, figure6, table1
+from .analysis import (chaos_chart, figure3_chart, figure4_chart,
+                       figure5_chart, figure6_chart)
+from .experiments import chaos, figure3, figure4, figure5, figure6, table1
 
-EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6")
+EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6",
+               "chaos")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,9 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="EnviroTrack program file (compile only)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink sweeps for a fast smoke run")
-    parser.add_argument("--seed", type=int, default=1,
-                        help="master seed (figure3 only; sweeps manage "
-                             "their own seed ladders)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed, applied to every experiment "
+                             "(figure3 seeds its single run; sweeps use "
+                             "it as their seed-ladder base).  Defaults "
+                             "match each experiment's published ladder.")
     parser.add_argument("--repetitions", type=int, default=None,
                         help="independent runs per parameter point")
     parser.add_argument("--svg", metavar="PATH", default=None,
@@ -48,40 +52,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sweep_kwargs(args) -> dict:
+    """Common knobs for the sweep experiments (everything but figure3)."""
+    kwargs = {"quick": args.quick}
+    if args.repetitions is not None:
+        kwargs["repetitions"] = args.repetitions
+    if args.seed is not None:
+        kwargs["seed_base"] = args.seed
+    return kwargs
+
+
 def _run_figure3(args) -> tuple:
-    result = figure3(seed=args.seed)
+    result = figure3(seed=1 if args.seed is None else args.seed)
     return result, figure3_chart(result)
 
 
 def _run_figure4(args) -> tuple:
-    kwargs = {"quick": args.quick}
-    if args.repetitions is not None:
-        kwargs["repetitions"] = args.repetitions
-    result = figure4(**kwargs)
+    result = figure4(**_sweep_kwargs(args))
     return result, figure4_chart(result)
 
 
 def _run_table1(args) -> tuple:
-    kwargs = {"quick": args.quick}
-    if args.repetitions is not None:
-        kwargs["repetitions"] = args.repetitions
-    return table1(**kwargs), None
+    return table1(**_sweep_kwargs(args)), None
 
 
 def _run_figure5(args) -> tuple:
-    kwargs = {"quick": args.quick}
-    if args.repetitions is not None:
-        kwargs["repetitions"] = args.repetitions
-    result = figure5(**kwargs)
+    result = figure5(**_sweep_kwargs(args))
     return result, figure5_chart(result)
 
 
 def _run_figure6(args) -> tuple:
-    kwargs = {"quick": args.quick}
-    if args.repetitions is not None:
-        kwargs["repetitions"] = args.repetitions
-    result = figure6(**kwargs)
+    result = figure6(**_sweep_kwargs(args))
     return result, figure6_chart(result)
+
+
+def _run_chaos(args) -> tuple:
+    result = chaos(**_sweep_kwargs(args))
+    return result, chaos_chart(result)
 
 
 RUNNERS: dict = {
@@ -90,6 +97,7 @@ RUNNERS: dict = {
     "table1": _run_table1,
     "figure5": _run_figure5,
     "figure6": _run_figure6,
+    "chaos": _run_chaos,
 }
 
 

@@ -1,5 +1,6 @@
 """Evaluation reproduction: scenarios and per-figure entry points."""
 
+from .chaos import ChaosPoint, ChaosResult, chaos
 from .figures import (Figure3Result, Figure4Result, Figure5Result,
                       Figure6Result, Table1Result, figure3, figure4,
                       figure5, figure6, table1)
@@ -12,6 +13,8 @@ from .sizing import (DeploymentPlan, grid_spacing_for_coverage,
                      seconds_per_hop)
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosResult",
     "DeploymentPlan",
     "Figure3Result",
     "Figure4Result",
@@ -24,6 +27,7 @@ __all__ = [
     "TankScenario",
     "build_app",
     "build_tracker_definition",
+    "chaos",
     "figure3",
     "figure4",
     "figure5",

@@ -1,0 +1,26 @@
+"""Fault injection ("chaos") subsystem.
+
+Declarative :class:`FaultPlan` scripts + a :class:`FaultInjector` that
+schedules them into a simulation through the substrate's failure hooks.
+See :mod:`repro.metrics.recovery` for the matching measurements and the
+``repro chaos`` experiment for the recovery-latency sweep.
+"""
+
+from .injector import FaultInjector
+from .plan import (ClockSkew, EnergyDrain, FaultEvent, FaultPlan,
+                   LeaderCrash, LossSpike, NodeCrash, NodeReboot,
+                   RegionJam, leader_crash_schedule)
+
+__all__ = [
+    "ClockSkew",
+    "EnergyDrain",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LeaderCrash",
+    "LossSpike",
+    "NodeCrash",
+    "NodeReboot",
+    "RegionJam",
+    "leader_crash_schedule",
+]

@@ -1,0 +1,209 @@
+"""Scripted fault plans.
+
+A :class:`FaultPlan` is a validated, time-ordered script of fault events
+— the declarative half of the chaos subsystem.  Plans are plain frozen
+data: building one touches no simulator state, so the same plan can be
+armed against many runs (the determinism property the tests pin down:
+same seed + same plan ⇒ identical trace).
+
+Event kinds mirror the failure modes the paper's §6.2 robustness
+discussion cares about, plus the classic deployment hazards:
+
+=================  ====================================================
+event              models
+=================  ====================================================
+:class:`NodeCrash` a mote dying (battery/stomped/hardware fault)
+:class:`NodeReboot` a watchdog power-cycle bringing a dead mote back
+:class:`LeaderCrash` "the current leader fails" — the victim is resolved
+                   at fire time so plans need not predict elections
+:class:`RegionJam` a localized interferer/jammer (extra loss ≤ blackout)
+:class:`LossSpike` field-wide channel degradation (weather, noise floor)
+:class:`EnergyDrain` battery leakage charged to one mote's ledger
+:class:`ClockSkew` oscillator drift stretching one mote's timers
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+Position = Tuple[float, float]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill one mote at ``time``."""
+
+    time: float
+    node: int
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"crash time must be >= 0: {self.time}")
+
+
+@dataclass(frozen=True)
+class NodeReboot:
+    """Power-cycle a (dead) mote at ``time``; no-op if it is alive."""
+
+    time: float
+    node: int
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"reboot time must be >= 0: {self.time}")
+
+
+@dataclass(frozen=True)
+class LeaderCrash:
+    """Kill whichever live mote leads a ``context_type`` label at ``time``.
+
+    The victim is resolved when the event fires (elections are seed
+    dependent; a plan cannot name the winner in advance).  When several
+    labels of the type are led concurrently, the lowest-id leader dies —
+    deterministic, so traces replay exactly.  ``reboot_after`` optionally
+    schedules the victim's power-cycle that many seconds later.
+    """
+
+    time: float
+    context_type: str
+    reboot_after: Optional[float] = None
+
+    def validate(self) -> None:
+        _require(self.time >= 0,
+                 f"leader crash time must be >= 0: {self.time}")
+        _require(bool(self.context_type), "context type must be non-empty")
+        _require(self.reboot_after is None or self.reboot_after > 0,
+                 f"reboot_after must be positive: {self.reboot_after}")
+
+
+@dataclass(frozen=True)
+class RegionJam:
+    """Extra reception loss for receivers within ``radius`` of ``center``
+    during ``[time, time + duration)``.  ``extra_loss=1.0`` is a regional
+    blackout."""
+
+    time: float
+    duration: float
+    center: Position
+    radius: float
+    extra_loss: float = 1.0
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"jam time must be >= 0: {self.time}")
+        _require(self.duration > 0,
+                 f"jam duration must be positive: {self.duration}")
+        _require(self.radius > 0,
+                 f"jam radius must be positive: {self.radius}")
+        _require(0.0 <= self.extra_loss <= 1.0,
+                 f"jam extra loss must be in [0, 1]: {self.extra_loss}")
+
+
+@dataclass(frozen=True)
+class LossSpike:
+    """Field-wide extra reception loss during ``[time, time + duration)``."""
+
+    time: float
+    duration: float
+    extra_loss: float
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"spike time must be >= 0: {self.time}")
+        _require(self.duration > 0,
+                 f"spike duration must be positive: {self.duration}")
+        _require(0.0 <= self.extra_loss <= 1.0,
+                 f"spike extra loss must be in [0, 1]: {self.extra_loss}")
+
+
+@dataclass(frozen=True)
+class EnergyDrain:
+    """Charge ``joules`` of parasitic drain to one mote's energy ledger."""
+
+    time: float
+    node: int
+    joules: float
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"drain time must be >= 0: {self.time}")
+        _require(self.joules >= 0,
+                 f"drain joules must be >= 0: {self.joules}")
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Multiply one mote's timer delays by ``factor`` (oscillator drift).
+
+    ``factor > 1`` slows the mote's clock — heartbeats stretch, receive
+    timers fire late; ``factor < 1`` speeds it up.
+    """
+
+    time: float
+    node: int
+    factor: float
+
+    def validate(self) -> None:
+        _require(self.time >= 0, f"skew time must be >= 0: {self.time}")
+        _require(self.factor > 0,
+                 f"skew factor must be positive: {self.factor}")
+
+
+FaultEvent = Union[NodeCrash, NodeReboot, LeaderCrash, RegionJam,
+                   LossSpike, EnergyDrain, ClockSkew]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted script of fault events."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            event.validate()
+        ordered = tuple(sorted(
+            self.events, key=lambda e: (e.time, type(e).__name__)))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultPlan":
+        return cls(events=tuple(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def until(self, horizon: float) -> "FaultPlan":
+        """The sub-plan of events firing strictly before ``horizon``."""
+        return FaultPlan(events=tuple(e for e in self.events
+                                      if e.time < horizon))
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(events=self.events + other.events)
+
+
+def leader_crash_schedule(context_type: str, start: float, period: float,
+                          count: int,
+                          reboot_after: Optional[float] = None
+                          ) -> FaultPlan:
+    """A periodic leader-killing plan: the chaos experiment's workload.
+
+    Crashes the current ``context_type`` leader every ``period`` seconds,
+    ``count`` times, starting at ``start``.  With ``reboot_after``, each
+    victim power-cycles that many seconds later (so the population does
+    not monotonically shrink during long sweeps).
+    """
+    if period <= 0:
+        raise ValueError(f"crash period must be positive: {period}")
+    if count < 1:
+        raise ValueError(f"crash count must be >= 1: {count}")
+    events: List[FaultEvent] = [
+        LeaderCrash(time=start + i * period, context_type=context_type,
+                    reboot_after=reboot_after)
+        for i in range(count)]
+    return FaultPlan(events=tuple(events))

@@ -1,7 +1,8 @@
 """Group management: context-label coherence without consistent views."""
 
 from .config import GroupConfig
-from .messages import (HEARTBEAT_KIND, RELINQUISH_KIND, Heartbeat,
+from .messages import (HEARTBEAT_KIND, QUERY_KIND, RELINQUISH_KIND,
+                       VOUCH_KIND, Heartbeat, LeaderQuery, LeaderVouch,
                        Relinquish, label_type, mint_label)
 from .protocol import GroupListener, GroupManager, Role
 
@@ -11,9 +12,13 @@ __all__ = [
     "GroupManager",
     "HEARTBEAT_KIND",
     "Heartbeat",
+    "LeaderQuery",
+    "LeaderVouch",
+    "QUERY_KIND",
     "RELINQUISH_KIND",
     "Relinquish",
     "Role",
+    "VOUCH_KIND",
     "label_type",
     "mint_label",
 ]

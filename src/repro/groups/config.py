@@ -79,6 +79,15 @@ class GroupConfig:
     #: face of the paper's wait-timer trade-off: "The choice of the wait
     #: timer depends on how far to maintain memory of nearby events."
     join_range: Optional[float] = None
+    #: Liveness-probe rounds before a member with an expired receive timer
+    #: usurps leadership.  Each round broadcasts a LeaderQuery; a defence
+    #: heartbeat from the leader or a fresh-enough member vouch cancels the
+    #: takeover.  This keeps a member that merely lost consecutive
+    #: heartbeats to channel noise from minting a duplicate leader, at the
+    #: cost of at most ``takeover_probes × claim_window`` extra takeover
+    #: latency after a real leader death.  0 restores the paper's
+    #: immediate takeover.
+    takeover_probes: int = 2
 
     def __post_init__(self) -> None:
         if self.heartbeat_period <= 0:
@@ -105,6 +114,9 @@ class GroupConfig:
         if self.announce_jitter < 0:
             raise ValueError(
                 f"announce jitter must be >= 0: {self.announce_jitter}")
+        if self.takeover_probes < 0:
+            raise ValueError(
+                f"takeover probes must be >= 0: {self.takeover_probes}")
 
     @property
     def receive_timeout(self) -> float:

@@ -16,6 +16,8 @@ from typing import Any, Dict, Optional
 #: Frame kinds.
 HEARTBEAT_KIND = "gm.heartbeat"
 RELINQUISH_KIND = "gm.relinquish"
+QUERY_KIND = "gm.query"
+VOUCH_KIND = "gm.vouch"
 
 
 def mint_label(context_type: str, creator: int, sequence: int) -> str:
@@ -127,6 +129,90 @@ class Relinquish:
                 leader=int(payload["leader"]),
                 weight=int(payload["weight"]),
                 state=payload.get("state"),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+@dataclass
+class LeaderQuery:
+    """Liveness probe a member broadcasts when its receive timer expires.
+
+    Before usurping leadership, the member asks "is the leader of this
+    label still alive?".  The leader answers with an immediate (defence)
+    heartbeat; fellow members answer with a :class:`LeaderVouch` carrying
+    the age of their freshest direct heartbeat.  Either response cancels
+    the takeover, so a member that merely lost two heartbeats to channel
+    noise no longer creates a duplicate leader.
+    """
+
+    context_type: str
+    label: str
+    sender: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context_type": self.context_type,
+            "label": self.label,
+            "sender": self.sender,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]
+                     ) -> Optional["LeaderQuery"]:
+        try:
+            return cls(
+                context_type=payload["context_type"],
+                label=payload["label"],
+                sender=int(payload["sender"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+@dataclass
+class LeaderVouch:
+    """Second-hand heartbeat freshness, sent in answer to a LeaderQuery.
+
+    ``age`` is the time since the voucher *directly* heard the leader, so
+    the prober can restart its receive timer with the remaining budget
+    (``receive_timeout − age``) instead of a full timeout.  Ages only
+    grow after a real leader death, which keeps the takeover latency
+    bound at one receive timeout measured from the last heartbeat anyone
+    heard.
+    """
+
+    context_type: str
+    label: str
+    leader: int
+    weight: int
+    age: float
+    sender: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context_type": self.context_type,
+            "label": self.label,
+            "leader": self.leader,
+            "weight": self.weight,
+            "age": self.age,
+            "sender": self.sender,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]
+                     ) -> Optional["LeaderVouch"]:
+        try:
+            age = float(payload["age"])
+            if age < 0:
+                return None
+            return cls(
+                context_type=payload["context_type"],
+                label=payload["label"],
+                leader=int(payload["leader"]),
+                weight=int(payload["weight"]),
+                age=age,
+                sender=int(payload["sender"]),
             )
         except (KeyError, TypeError, ValueError):
             return None

@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, List, Optional
 from ..node import Component, Mote
 from ..radio import distance
 from .config import GroupConfig
-from .messages import (HEARTBEAT_KIND, RELINQUISH_KIND, Heartbeat,
+from .messages import (HEARTBEAT_KIND, QUERY_KIND, RELINQUISH_KIND,
+                       VOUCH_KIND, Heartbeat, LeaderQuery, LeaderVouch,
                        Relinquish, mint_label)
 
 SenseFn = Callable[[Mote], bool]
@@ -115,6 +116,21 @@ class _TypeState:
     labels_minted: int = 0
     last_hb_time: float = -1.0
     relinquish_time: float = -1.0
+    #: Last time we heard a heartbeat for *our own* label directly — the
+    #: only observations we may vouch for to a probing neighbor.
+    last_label_hb_time: float = -1.0
+    #: Absolute deadline the receive timer is currently armed for;
+    #: vouches only ever *extend* it, never shrink it.
+    receive_deadline: float = -1.0
+    #: What the armed claim timer means: "claim" (relinquish contention)
+    #: or "takeover" (probe cycle after receive-timer expiry).
+    pending_via: Optional[str] = None
+    #: Probe rounds already sent in the current takeover cycle.
+    probe_round: int = 0
+    #: When the current probe cycle started (for takeover tracing).
+    probe_time: float = -1.0
+    #: Rate limit for defence heartbeats answering probes/duplicates.
+    last_defence_time: float = -1e9
     #: Flood forwarding dedup: last forwarded heartbeat seq per label.
     forwarded_seq: Dict[str, int] = field(default_factory=dict)
     # Timers are attached by the manager at start().
@@ -141,6 +157,7 @@ class GroupManager(Component):
         self._types: Dict[str, _TypeState] = {}
         self._listeners: List[GroupListener] = []
         self._rng = self.sim.rng.stream("gm.jitter")
+        mote.add_reboot_hook(self._on_reboot)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -162,8 +179,27 @@ class GroupManager(Component):
     def on_start(self) -> None:
         self.handle(HEARTBEAT_KIND, self._on_heartbeat_frame)
         self.handle(RELINQUISH_KIND, self._on_relinquish_frame)
+        self.handle(QUERY_KIND, self._on_query_frame)
+        self.handle(VOUCH_KIND, self._on_vouch_frame)
         for state in self._types.values():
             self._activate(state)
+
+    def _on_reboot(self) -> None:
+        """Host mote power-cycled: come back with empty protocol RAM.
+
+        Every tracked type restarts from IDLE — a rebooted node rejoins
+        groups by hearing heartbeats like any newcomer.  Only the label
+        mint counter survives (conceptually: a boot counter in flash), so
+        a rebooted creator can never re-mint a label id it already used.
+        """
+        for name, old in list(self._types.items()):
+            fresh = _TypeState(type_name=old.type_name,
+                               sense_fn=old.sense_fn, config=old.config,
+                               labels_minted=old.labels_minted)
+            self._types[name] = fresh
+            if self._started:
+                self._activate(fresh)
+        self.record("reboot")
 
     def _activate(self, state: _TypeState) -> None:
         cfg = state.config
@@ -377,6 +413,10 @@ class GroupManager(Component):
                             to=beat.leader)
                 self._stop_leading(state, reason="yield")
                 self._adopt_group(state, beat)
+            else:
+                # We win the tie-break: answer immediately so the loser
+                # yields now instead of a heartbeat period from now.
+                self._defend(state)
             return
         # Different label, same type: the lighter label is spurious —
         # but only when both labels plausibly track the same stimulus
@@ -388,6 +428,8 @@ class GroupManager(Component):
                         label=state.label, adopted=beat.label)
             self._stop_leading(state, reason="suppressed")
             self._adopt_group(state, beat)
+        else:
+            self._defend(state)
 
     def _member_hears_heartbeat(self, state: _TypeState,
                                 beat: Heartbeat) -> None:
@@ -402,8 +444,15 @@ class GroupManager(Component):
                 state.cached_state = beat.state
                 self._notify("on_state_update", state.type_name,
                              state.label, beat.state)
+            state.last_label_hb_time = self.now
             state.receive_timer.kick()
+            state.receive_deadline = self.now + state.config.receive_timeout
+            if state.pending_via == "takeover":
+                self.record("takeover_aborted", type=state.type_name,
+                            label=state.label, leader=beat.leader)
             state.claim_timer.cancel()
+            state.pending_via = None
+            state.probe_round = 0
             if previous_leader != beat.leader:
                 self._notify("on_leader_update", state.type_name,
                              state.label, beat.leader)
@@ -496,16 +545,22 @@ class GroupManager(Component):
                 # Contend to inherit leadership after a random delay; the
                 # first claimant's heartbeat cancels the others.
                 state.relinquish_time = self.now
+                state.pending_via = "claim"
                 delay = self._rng.uniform(0, state.config.claim_window)
                 state.claim_timer.start(delay)
 
     def _claim_fired(self, state: _TypeState) -> None:
+        via = state.pending_via
+        state.pending_via = None
         if state.role is not Role.MEMBER or state.label is None:
+            return
+        if not state.sensing:
+            return
+        if via == "takeover":
+            self._takeover_step(state)
             return
         if state.last_hb_time > state.relinquish_time:
             return  # someone already claimed (their heartbeat reached us)
-        if not state.sensing:
-            return
         label = state.label
         self.record("claim", type=state.type_name, label=label)
         state.receive_timer.cancel()
@@ -517,7 +572,15 @@ class GroupManager(Component):
     # Timer expiries
     # ------------------------------------------------------------------
     def _receive_expired(self, state: _TypeState) -> None:
-        """Leader silence: take over leadership of the *same* label."""
+        """Leader silence: take over leadership of the *same* label.
+
+        With ``takeover_probes > 0`` the takeover is preceded by a short
+        probe cycle: broadcast a LeaderQuery, wait a jittered fraction of
+        the claim window, and usurp only if neither a defence heartbeat
+        nor a fresh member vouch arrives.  Losing two consecutive
+        heartbeats to channel noise is rare but not negligible; usurping
+        on the spot made every such streak a duplicate-leader window.
+        """
         if state.role is not Role.MEMBER or state.label is None:
             return
         if not state.sensing:
@@ -525,13 +588,128 @@ class GroupManager(Component):
             # leave instead of taking over a label we cannot serve.
             self._member_stops_sensing(state)
             return
+        if state.config.takeover_probes <= 0:
+            self._takeover(state)
+            return
+        state.probe_round = 0
+        state.probe_time = self.now
+        self._takeover_step(state)
+
+    def _takeover_step(self, state: _TypeState) -> None:
+        """One probe round, or the takeover itself once rounds run out."""
+        if state.probe_round >= state.config.takeover_probes:
+            self._takeover(state)
+            return
+        state.probe_round += 1
+        self._send_query(state)
+        state.pending_via = "takeover"
+        # Jittered so concurrent probers interleave; bounded well below
+        # the claim window ceiling to keep the post-death takeover latency
+        # within the relinquish-vs-takeover gap the tests assert.
+        delay = self._rng.uniform(0.35, 1.0) * state.config.claim_window
+        state.claim_timer.start(delay)
+
+    def _takeover(self, state: _TypeState) -> None:
         label = state.label
+        assert label is not None
         self.record("takeover", type=state.type_name, label=label,
                     inherited_weight=state.weight)
         self._notify("on_member_leave", state.type_name, label)
         self._become_leader(state, label, weight=state.weight,
                             inherited_state=state.cached_state,
                             via="takeover")
+
+    # ------------------------------------------------------------------
+    # Liveness probes (takeover hardening)
+    # ------------------------------------------------------------------
+    def _send_query(self, state: _TypeState) -> None:
+        assert state.label is not None
+        query = LeaderQuery(context_type=state.type_name, label=state.label,
+                            sender=self.node_id)
+        self.record("probe", type=state.type_name, label=state.label,
+                    round=state.probe_round)
+        self.broadcast(QUERY_KIND, query.to_payload(),
+                       tx_range=state.config.heartbeat_tx_range)
+
+    def _on_query_frame(self, frame) -> None:
+        query = LeaderQuery.from_payload(frame.payload)
+        if query is None or query.sender == self.node_id:
+            return
+        state = self._types.get(query.context_type)
+        if state is None or state.label != query.label:
+            return
+        if state.role is Role.LEADER:
+            # Alive after all: a defence heartbeat cancels the takeover
+            # (and every other member's pending probe in one broadcast).
+            self._defend(state)
+            return
+        if state.role is not Role.MEMBER:
+            return
+        # Vouch only for *direct*, reasonably fresh observations; stale
+        # vouches would chain between simultaneously-expiring members and
+        # stretch the takeover latency after a real death.
+        cfg = state.config
+        if state.last_label_hb_time < 0:
+            return
+        remaining = cfg.receive_timeout - (self.now - state.last_label_hb_time)
+        if remaining < 0.25 * cfg.receive_timeout:
+            return
+        delay = self._rng.uniform(0, cfg.rebroadcast_jitter)
+        self.sim.schedule(delay, self._send_vouch, state, state.label,
+                          label="gm.vouch_reply")
+
+    def _send_vouch(self, state: _TypeState, label: str) -> None:
+        # Re-check at send time: our own state may have moved on during
+        # the jitter delay.
+        if (state.role is not Role.MEMBER or state.label != label
+                or state.leader_id is None
+                or state.last_label_hb_time < 0):
+            return
+        vouch = LeaderVouch(context_type=state.type_name, label=label,
+                            leader=state.leader_id, weight=state.weight,
+                            age=self.now - state.last_label_hb_time,
+                            sender=self.node_id)
+        self.broadcast(VOUCH_KIND, vouch.to_payload(),
+                       tx_range=state.config.heartbeat_tx_range)
+
+    def _on_vouch_frame(self, frame) -> None:
+        vouch = LeaderVouch.from_payload(frame.payload)
+        if vouch is None or vouch.sender == self.node_id:
+            return
+        state = self._types.get(vouch.context_type)
+        if state is None or state.role is not Role.MEMBER:
+            return
+        if state.label != vouch.label:
+            return
+        cfg = state.config
+        # Age-discounted restart: trust the voucher's observation as if it
+        # were our own, so the receive deadline never extends past
+        # (last heartbeat anyone heard) + receive_timeout.  Only *extend*;
+        # a stale vouch must not shrink a healthier deadline.
+        candidate = (self.now - vouch.age) + cfg.receive_timeout
+        extends = candidate > max(state.receive_deadline, self.now)
+        if not extends:
+            return
+        if state.pending_via == "takeover":
+            self.record("takeover_aborted", type=state.type_name,
+                        label=state.label, voucher=vouch.sender)
+        state.claim_timer.cancel()
+        state.pending_via = None
+        state.probe_round = 0
+        state.receive_timer.start(candidate - self.now)
+        state.receive_deadline = candidate
+        state.weight = max(state.weight, vouch.weight)
+
+    def _defend(self, state: _TypeState) -> None:
+        """Immediate (rate-limited) heartbeat answering a liveness doubt."""
+        if state.role is not Role.LEADER:
+            return
+        cfg = state.config
+        if self.now - state.last_defence_time < 0.25 * cfg.heartbeat_period:
+            return
+        state.last_defence_time = self.now
+        self.record("defend", type=state.type_name, label=state.label)
+        self._send_heartbeat(state)
 
     def _wait_expired(self, state: _TypeState) -> None:
         """Memory of the nearby label fades; future stimuli mint new
@@ -552,6 +730,8 @@ class GroupManager(Component):
         state.receive_timer.cancel()
         state.claim_timer.cancel()
         state.formation_timer.cancel()
+        state.pending_via = None
+        state.probe_round = 0
         cfg = state.config
         state.heartbeat_timer = self.mote.periodic(
             cfg.heartbeat_period, lambda s=state: self._send_heartbeat(s),
@@ -584,6 +764,10 @@ class GroupManager(Component):
         state.weight = weight
         state.cached_state = cached_state
         state.receive_timer.kick()
+        state.receive_deadline = self.now + state.config.receive_timeout
+        state.last_label_hb_time = self.now
+        state.pending_via = None
+        state.probe_round = 0
         self.record("member_join", type=state.type_name, label=label,
                     leader=leader)
         self._notify("on_member_join", state.type_name, label, leader)
@@ -606,6 +790,8 @@ class GroupManager(Component):
         state.leader_position = None
         state.weight = 0
         state.cached_state = None
+        state.pending_via = None
+        state.probe_round = 0
 
     def _remember(self, state: _TypeState, label: str, leader: int,
                   weight: int, cached_state: Optional[dict]) -> None:

@@ -4,6 +4,7 @@ from .collectors import (CommunicationMetrics, communication_metrics,
                          mean_metrics)
 from .handover import (HandoverStats, analyze_handovers,
                        handoff_latencies, tracking_coverage)
+from .recovery import CrashRecovery, RecoveryReport, analyze_recovery
 from .speed_search import (CoherenceProbe, SpeedSearchResult,
                            max_trackable_speed)
 from .timeline import TimelineSample, TimelineSampler
@@ -14,10 +15,13 @@ __all__ = [
     "TimelineSampler",
     "CoherenceProbe",
     "CommunicationMetrics",
+    "CrashRecovery",
     "HandoverStats",
+    "RecoveryReport",
     "SpeedSearchResult",
     "TrajectoryComparison",
     "analyze_handovers",
+    "analyze_recovery",
     "handoff_latencies",
     "communication_metrics",
     "compare_track",

@@ -52,6 +52,9 @@ class EnergyLedger:
     tx_joules: float = 0.0
     rx_joules: float = 0.0
     cpu_joules: float = 0.0
+    #: Externally injected drain (fault injection: battery leakage,
+    #: short-circuit, parasitic load).
+    drain_joules: float = 0.0
     started_at: float = 0.0
 
     def on_transmit(self, airtime: float) -> None:
@@ -66,6 +69,12 @@ class EnergyLedger:
         """Charge CPU energy for ``busy_time`` seconds of service."""
         self.cpu_joules += busy_time * self.model.cpu_power
 
+    def on_drain(self, joules: float) -> None:
+        """Charge an externally injected energy drain."""
+        if joules < 0:
+            raise ValueError(f"drain must be >= 0: {joules}")
+        self.drain_joules += joules
+
     def idle_joules(self, now: float) -> float:
         """Baseline idle-listening drain over the whole elapsed time.
 
@@ -76,7 +85,8 @@ class EnergyLedger:
         return elapsed * self.model.idle_listen_power
 
     def total_joules(self, now: float, include_idle: bool = True) -> float:
-        active = self.tx_joules + self.rx_joules + self.cpu_joules
+        active = (self.tx_joules + self.rx_joules + self.cpu_joules
+                  + self.drain_joules)
         if include_idle:
             active += self.idle_joules(now)
         return active
@@ -172,6 +182,11 @@ class EnergyMeter:
             "tx": sum(l.tx_joules for l in self.ledgers.values()),
             "rx": sum(l.rx_joules for l in self.ledgers.values()),
             "cpu": sum(l.cpu_joules for l in self.ledgers.values()),
+            "drain": sum(l.drain_joules for l in self.ledgers.values()),
             "idle": sum(l.idle_joules(now)
                         for l in self.ledgers.values()),
         }
+
+    def drain(self, node_id: int, joules: float) -> None:
+        """Inject an external drain on one mote's battery."""
+        self.ledgers[node_id].on_drain(joules)

@@ -64,6 +64,10 @@ class Mote:
         self._handlers: Dict[str, List[FrameHandler]] = {}
         self._sensors: Dict[str, Callable[[], Any]] = {}
         self._timers: List[Any] = []
+        self._reboot_hooks: List[Callable[[], None]] = []
+        #: Oscillator skew: multiplies the nominal delay of every timer
+        #: created on this mote (1.0 = perfect clock).
+        self.clock_scale = 1.0
         self.port = TransceiverPort(node_id, lambda: self._position,
                                     self._on_physical_receive)
         medium.attach(self.port)
@@ -147,9 +151,11 @@ class Mote:
                  cost: Optional[float] = None) -> PeriodicTimer:
         """A periodic timer whose callback is executed on this mote's CPU."""
         timer = PeriodicTimer(
-            self.sim, period,
+            self.sim, period * self.clock_scale,
             lambda: self._timer_fire(callback, cost, label),
-            label=f"{label}@{self.node_id}", initial_delay=initial_delay)
+            label=f"{label}@{self.node_id}",
+            initial_delay=(None if initial_delay is None
+                           else initial_delay * self.clock_scale))
         self._timers.append(timer)
         return timer
 
@@ -158,7 +164,7 @@ class Mote:
                  cost: Optional[float] = None) -> WatchdogTimer:
         """A watchdog whose expiry handler runs on this mote's CPU."""
         timer = WatchdogTimer(
-            self.sim, timeout,
+            self.sim, timeout * self.clock_scale,
             lambda: self._timer_fire(callback, cost, label),
             label=f"{label}@{self.node_id}")
         self._timers.append(timer)
@@ -207,3 +213,41 @@ class Mote:
         self.port.enabled = True
         self.cpu.enabled = True
         self.sim.record("node.recover", node=self.node_id)
+
+    def add_reboot_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run when this mote reboots.
+
+        Components use it to rebuild their volatile state — a reboot is a
+        power cycle, not a resume: protocol layers come back with empty
+        RAM and must rejoin groups from scratch.
+        """
+        self._reboot_hooks.append(hook)
+
+    def reboot(self) -> None:
+        """Power-cycle a failed node: recover, then reinitialize components
+        via their reboot hooks.  No-op on a live node."""
+        if self.alive:
+            return
+        self.recover()
+        self.sim.record("node.reboot", node=self.node_id)
+        for hook in self._reboot_hooks:
+            hook()
+
+    def skew_clock(self, factor: float) -> None:
+        """Stretch (>1) or compress (<1) this mote's oscillator.
+
+        Applies to every existing periodic/watchdog timer's nominal delay
+        and to timers created later.  Periodic changes take effect after
+        the next firing (matching :class:`PeriodicTimer` semantics); a
+        watchdog's new timeout applies from its next kick.
+        """
+        if factor <= 0:
+            raise ValueError(f"clock skew factor must be positive: {factor}")
+        self.clock_scale *= factor
+        for timer in self._timers:
+            if isinstance(timer, PeriodicTimer):
+                timer.period *= factor
+            elif isinstance(timer, WatchdogTimer):
+                timer.timeout *= factor
+        self.sim.record("node.clock_skew", node=self.node_id,
+                        factor=factor, scale=self.clock_scale)

@@ -2,7 +2,8 @@
 
 from .frames import BROADCAST, DEFAULT_FRAME_BITS, Frame
 from .mac import CsmaMac, MacBase, NullMac, make_mac
-from .medium import DEFAULT_BITRATE, Medium, TransceiverPort, distance
+from .medium import (DEFAULT_BITRATE, Disturbance, Medium, TransceiverPort,
+                     distance)
 from .stats import RadioStats
 
 __all__ = [
@@ -10,6 +11,7 @@ __all__ = [
     "CsmaMac",
     "DEFAULT_BITRATE",
     "DEFAULT_FRAME_BITS",
+    "Disturbance",
     "Frame",
     "MacBase",
     "Medium",

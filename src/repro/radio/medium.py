@@ -56,6 +56,31 @@ class _Reception:
 
 
 @dataclass
+class Disturbance:
+    """A timed channel impairment (jamming, weather, interference burst).
+
+    While active, every reception whose *receiver* sits inside the region
+    (``center``/``radius``; a ``None`` center means field-wide) is lost
+    with additional probability ``extra_loss`` on top of the base channel
+    loss.  ``extra_loss=1.0`` is a blackout.
+    """
+
+    extra_loss: float
+    start: float
+    end: float
+    center: Optional[Position] = None
+    radius: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def covers(self, position: Position) -> bool:
+        if self.center is None or self.radius is None:
+            return True
+        return distance(self.center, position) <= self.radius
+
+
+@dataclass
 class _Transmission:
     """An in-flight frame occupying airtime on the channel."""
 
@@ -149,6 +174,10 @@ class Medium:
         self._ports: Dict[int, TransceiverPort] = {}
         self._active: List[_Transmission] = []
         self._rng = sim.rng.stream("radio.loss")
+        self._disturbances: List[Disturbance] = []
+        # Separate stream so adding a disturbance never perturbs the
+        # baseline loss draws of an otherwise identical run.
+        self._jam_rng = sim.rng.stream("radio.jam")
 
     # ------------------------------------------------------------------
     # Registration
@@ -197,6 +226,32 @@ class Medium:
             and distance(origin, other.position) <= limit)
 
     # ------------------------------------------------------------------
+    # Disturbances (fault injection)
+    # ------------------------------------------------------------------
+    def add_disturbance(self, extra_loss: float, start: float, end: float,
+                        center: Optional[Position] = None,
+                        radius: Optional[float] = None) -> Disturbance:
+        """Register a timed (optionally regional) extra-loss window."""
+        if not 0.0 <= extra_loss <= 1.0:
+            raise ValueError(f"extra loss must be in [0, 1]: {extra_loss}")
+        if end <= start:
+            raise ValueError(f"empty disturbance window: [{start}, {end})")
+        if (center is None) != (radius is None):
+            raise ValueError("center and radius must be given together")
+        if radius is not None and radius <= 0:
+            raise ValueError(f"disturbance radius must be positive: {radius}")
+        disturbance = Disturbance(extra_loss=extra_loss, start=start,
+                                  end=end, center=center, radius=radius)
+        self._disturbances.append(disturbance)
+        return disturbance
+
+    def active_disturbances(self) -> List[Disturbance]:
+        """Disturbances covering the current instant."""
+        now = self.sim.now
+        self._disturbances = [d for d in self._disturbances if d.end > now]
+        return [d for d in self._disturbances if d.active(now)]
+
+    # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
     def transmit(self, frame: Frame) -> None:
@@ -214,6 +269,7 @@ class Medium:
         tx = _Transmission(frame=frame, src_pos=src_pos, start=now,
                            end=now + self.airtime(frame))
         self._prune()
+        disturbances = self.active_disturbances()
         reach = (self.communication_radius if frame.tx_range is None
                  else min(frame.tx_range, self.communication_radius))
         # Build the reception set: everyone in range except the sender.
@@ -226,6 +282,12 @@ class Medium:
             reception = _Reception(receiver=port)
             if self._rng.random() < self._loss_probability(d, reach):
                 reception.corrupt("channel")
+            for disturbance in disturbances:
+                if reception.corrupted:
+                    break
+                if disturbance.covers(port.position) and \
+                        self._jam_rng.random() < disturbance.extra_loss:
+                    reception.corrupt("jam")
             tx.receptions.append(reception)
         # Mutual collision marking against concurrently active airtime.
         for other in self._active:

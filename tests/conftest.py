@@ -1,0 +1,19 @@
+"""Shared test configuration: pinned Hypothesis profiles.
+
+The "ci" profile (default) derandomizes example generation so the suite
+is reproducible run-to-run — a flaky property test is a real protocol
+regression, not noise.  Set ``HYPOTHESIS_PROFILE=dev`` locally to let
+Hypothesis explore fresh examples.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", derandomize=True, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "dev", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,75 @@
+"""FaultPlan construction: validation, ordering, composition."""
+
+import pytest
+
+from repro.faults import (ClockSkew, EnergyDrain, FaultPlan, LeaderCrash,
+                          LossSpike, NodeCrash, NodeReboot, RegionJam,
+                          leader_crash_schedule)
+
+
+def test_plan_sorts_events_by_time():
+    plan = FaultPlan.of(NodeCrash(time=5.0, node=1),
+                        NodeCrash(time=1.0, node=2),
+                        NodeReboot(time=3.0, node=1))
+    assert [e.time for e in plan] == [1.0, 3.0, 5.0]
+    assert len(plan) == 3
+
+
+def test_plan_orders_ties_by_event_kind():
+    # Same instant: deterministic kind order (class name), so two plans
+    # built from differently ordered literals compare equal.
+    a = FaultPlan.of(NodeReboot(time=2.0, node=1),
+                     NodeCrash(time=2.0, node=0))
+    b = FaultPlan.of(NodeCrash(time=2.0, node=0),
+                     NodeReboot(time=2.0, node=1))
+    assert a == b
+    assert isinstance(a.events[0], NodeCrash)
+
+
+def test_until_keeps_events_before_horizon():
+    plan = leader_crash_schedule("t", start=1.0, period=2.0, count=5)
+    early = plan.until(5.0)
+    assert [e.time for e in early] == [1.0, 3.0]
+
+
+def test_merged_combines_and_resorts():
+    crashes = FaultPlan.of(NodeCrash(time=4.0, node=0))
+    jams = FaultPlan.of(RegionJam(time=1.0, duration=2.0,
+                                  center=(0.0, 0.0), radius=3.0))
+    merged = crashes.merged(jams)
+    assert [type(e).__name__ for e in merged] == ["RegionJam", "NodeCrash"]
+
+
+def test_leader_crash_schedule_builds_periodic_plan():
+    plan = leader_crash_schedule("t", start=2.0, period=3.0, count=3,
+                                 reboot_after=1.5)
+    assert [e.time for e in plan] == [2.0, 5.0, 8.0]
+    assert all(isinstance(e, LeaderCrash) for e in plan)
+    assert all(e.reboot_after == 1.5 for e in plan)
+
+
+@pytest.mark.parametrize("bad", [
+    NodeCrash(time=-1.0, node=0),
+    NodeReboot(time=-0.1, node=0),
+    LeaderCrash(time=1.0, context_type=""),
+    LeaderCrash(time=1.0, context_type="t", reboot_after=0.0),
+    RegionJam(time=0.0, duration=0.0, center=(0.0, 0.0), radius=1.0),
+    RegionJam(time=0.0, duration=1.0, center=(0.0, 0.0), radius=0.0),
+    RegionJam(time=0.0, duration=1.0, center=(0.0, 0.0), radius=1.0,
+              extra_loss=1.5),
+    LossSpike(time=0.0, duration=1.0, extra_loss=-0.2),
+    EnergyDrain(time=0.0, node=0, joules=-1.0),
+    ClockSkew(time=0.0, node=0, factor=0.0),
+])
+def test_invalid_events_rejected_at_plan_build(bad):
+    with pytest.raises(ValueError):
+        FaultPlan.of(bad)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"start": 0.0, "period": 0.0, "count": 3},
+    {"start": 0.0, "period": 1.0, "count": 0},
+])
+def test_leader_crash_schedule_validates(kwargs):
+    with pytest.raises(ValueError):
+        leader_crash_schedule("t", **kwargs)
