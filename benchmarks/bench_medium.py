@@ -1,0 +1,39 @@
+"""Medium spatial-index microbenchmark (pytest-benchmark wrapper).
+
+Wraps :mod:`repro.experiments.bench` — the same transmit-storm workload
+``python -m repro bench`` times — so the index's speedup shows up in the
+benchmark suite next to the substrate microbenches.  The storm itself
+verifies grid and brute-force runs produce identical trace digests, so
+this doubles as a differential check at benchmark scale.
+"""
+
+from conftest import QUICK, emit
+
+from repro.experiments.bench import _run_storm, bench_medium
+
+NODES = 100 if QUICK else 500
+FRAMES = 120 if QUICK else 400
+
+
+def test_transmit_storm_grid(benchmark):
+    """Grid-indexed medium: carrier sense + neighbors + transmit."""
+    seconds, digest = benchmark(
+        lambda: _run_storm("grid", NODES, FRAMES, seed=2004))
+    assert digest
+
+
+def test_transmit_storm_bruteforce(benchmark):
+    """Full-scan medium on the identical workload (the reference cost)."""
+    seconds, digest = benchmark(
+        lambda: _run_storm("bruteforce", NODES, FRAMES, seed=2004))
+    assert digest
+
+
+def test_medium_speedup_table():
+    """The BENCH_medium.json sweep: both modes, digest-verified."""
+    result = bench_medium(quick=QUICK)
+    emit("Medium spatial-index microbench", result.format_table())
+    largest = max(result.node_counts())
+    # The committed baseline records ≈5x at 500 nodes; anything under
+    # parity at the largest size means the index stopped indexing.
+    assert result.point(largest).speedup > 1.0

@@ -6,7 +6,8 @@ Examples::
     python -m repro table1 --repetitions 3
     python -m repro figure5 --quick
     python -m repro chaos --quick --svg chaos.svg
-    python -m repro all --quick --out-dir figures/
+    python -m repro all --quick --out-dir figures/ --jobs 4
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -19,7 +20,10 @@ from typing import Callable, Optional
 
 from .analysis import (chaos_chart, figure3_chart, figure4_chart,
                        figure5_chart, figure6_chart)
-from .experiments import chaos, figure3, figure4, figure5, figure6, table1
+from .experiments import (BenchResult, bench_medium, chaos,
+                          check_regression, figure3, figure4, figure5,
+                          figure6, table1)
+from .experiments.bench import BASELINE_FILENAME
 
 EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6",
                "chaos")
@@ -29,11 +33,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the EnviroTrack (ICDCS 2004) evaluation: "
-                    "Figures 3-6 and Table 1; or check/format EnviroTrack "
-                    "programs with 'compile <file>'.")
+                    "Figures 3-6 and Table 1; check/format EnviroTrack "
+                    "programs with 'compile <file>'; or run the medium "
+                    "microbenchmark with 'bench'.")
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ("all", "compile"),
-                        help="which experiment to run, or 'compile'")
+                        choices=EXPERIMENTS + ("all", "compile", "bench"),
+                        help="which experiment to run, 'compile', "
+                             "or 'bench'")
     parser.add_argument("source", nargs="?", default=None,
                         help="EnviroTrack program file (compile only)")
     parser.add_argument("--quick", action="store_true",
@@ -45,16 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "match each experiment's published ladder.")
     parser.add_argument("--repetitions", type=int, default=None,
                         help="independent runs per parameter point")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel worker processes for the sweep "
+                             "experiments (0 = one per core; results are "
+                             "identical to --jobs 1)")
     parser.add_argument("--svg", metavar="PATH", default=None,
                         help="also write the figure as an SVG chart")
     parser.add_argument("--out-dir", metavar="DIR", default=None,
                         help="with 'all': write every SVG into DIR")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=BASELINE_FILENAME,
+                        help="bench: baseline JSON to compare against")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="bench: rewrite the baseline file from this "
+                             "run instead of checking against it")
     return parser
 
 
 def _sweep_kwargs(args) -> dict:
     """Common knobs for the sweep experiments (everything but figure3)."""
-    kwargs = {"quick": args.quick}
+    kwargs = {"quick": args.quick, "jobs": args.jobs}
     if args.repetitions is not None:
         kwargs["repetitions"] = args.repetitions
     if args.seed is not None:
@@ -140,10 +156,29 @@ def _run_compile(args, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _run_bench(args, out: Callable[[str], None]) -> int:
+    """Run the medium microbench; gate on the committed baseline."""
+    result = bench_medium(quick=args.quick)
+    out(result.format_table())
+    if args.update_baseline:
+        result.save(args.baseline)
+        out(f"[wrote baseline {args.baseline}]")
+        return 0
+    if not os.path.exists(args.baseline):
+        out(f"[no baseline at {args.baseline}; run with "
+            f"--update-baseline to create one]")
+        return 0
+    ok, message = check_regression(result, BenchResult.load(args.baseline))
+    out(f"[baseline {args.baseline}: {message}]")
+    return 0 if ok else 1
+
+
 def main(argv=None, out: Callable[[str], None] = print) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "compile":
         return _run_compile(args, out)
+    if args.experiment == "bench":
+        return _run_bench(args, out)
     if args.experiment == "all":
         out_dir = args.out_dir
         if out_dir:

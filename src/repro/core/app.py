@@ -72,13 +72,15 @@ class EnviroTrackApp:
                  cpu_queue_limit: int = 64,
                  soft_edge_start: float = 1.0, soft_edge_loss: float = 0.0,
                  enable_directory: bool = True, enable_mtp: bool = True,
-                 registry: Optional[AggregationRegistry] = None) -> None:
+                 registry: Optional[AggregationRegistry] = None,
+                 medium_index: str = "grid") -> None:
         self.sim = Simulator(seed=seed)
         self.field = SensorField(
             self.sim, communication_radius=communication_radius,
             base_loss_rate=base_loss_rate, bitrate=bitrate, mac=mac,
             task_cost=task_cost, cpu_queue_limit=cpu_queue_limit,
-            soft_edge_start=soft_edge_start, soft_edge_loss=soft_edge_loss)
+            soft_edge_start=soft_edge_start, soft_edge_loss=soft_edge_loss,
+            index=medium_index)
         self.registry = registry or default_registry()
         self.enable_directory = enable_directory
         self.enable_mtp = enable_mtp

@@ -1,9 +1,14 @@
 """Evaluation reproduction: scenarios and per-figure entry points."""
 
+from .bench import (BenchPoint, BenchResult, bench_medium,
+                    check_regression)
 from .chaos import ChaosPoint, ChaosResult, chaos
 from .figures import (Figure3Result, Figure4Result, Figure5Result,
                       Figure6Result, Table1Result, figure3, figure4,
                       figure5, figure6, table1)
+from .runner import (ScenarioOutcome, default_jobs, derive_run_seed,
+                     parallel_map, reduce_run, run_scenario_outcome,
+                     run_scenarios)
 from .scenarios import (SPEED_33_KMH, SPEED_50_KMH, TankRunResult,
                         TankScenario, build_app, build_tracker_definition,
                         run_tank_scenario)
@@ -13,6 +18,8 @@ from .sizing import (DeploymentPlan, grid_spacing_for_coverage,
                      seconds_per_hop)
 
 __all__ = [
+    "BenchPoint",
+    "BenchResult",
     "ChaosPoint",
     "ChaosResult",
     "DeploymentPlan",
@@ -22,12 +29,17 @@ __all__ = [
     "Figure6Result",
     "SPEED_33_KMH",
     "SPEED_50_KMH",
+    "ScenarioOutcome",
     "Table1Result",
     "TankRunResult",
     "TankScenario",
+    "bench_medium",
     "build_app",
     "build_tracker_definition",
     "chaos",
+    "check_regression",
+    "default_jobs",
+    "derive_run_seed",
     "figure3",
     "figure4",
     "figure5",
@@ -37,8 +49,11 @@ __all__ = [
     "magnetic_detection_range",
     "motes_for_area",
     "paper_case_study",
+    "parallel_map",
     "plan_deployment",
-    "run_tank_scenario",
+    "reduce_run",
+    "run_scenario_outcome",
+    "run_scenarios",
     "seconds_per_hop",
     "table1",
 ]

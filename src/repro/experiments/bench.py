@@ -1,0 +1,206 @@
+"""Microbenchmark: grid spatial index vs brute-force medium scan.
+
+The workload is a transmit storm over a constant-density random
+deployment (field side grows with √N, so a communication disk always
+contains the same expected number of motes — the regime the grid index is
+built for).  Each storm drives the real :class:`~repro.radio.Medium`
+through its hot path — carrier sense, transmit fan-out, collision
+marking, periodic neighbor queries — once per index mode with identical
+seeds, times both, and also *checks* them against each other: the two
+runs must produce byte-identical trace digests, or the bench aborts.
+That makes every benchmark run a free differential test.
+
+``python -m repro bench`` prints the table and compares the measured
+grid-vs-bruteforce speedup against the committed ``BENCH_medium.json``
+baseline.  The regression check compares speedup **ratios**, not wall
+times, so it is stable across machines of different absolute speed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..radio import BROADCAST, Frame, Medium, TransceiverPort, \
+    reset_frame_ids
+from ..sim import Simulator, trace_digest
+
+#: Node counts for the full and the ``--quick`` smoke sweep.
+FULL_SIZES = (100, 250, 500)
+QUICK_SIZES = (100, 500)
+FULL_FRAMES = 400
+QUICK_FRAMES = 120
+
+#: The paper's radio reach, in grid units.
+COMMUNICATION_RADIUS = 6.0
+#: Field side = factor × √N keeps density constant (0.04 motes/unit²,
+#: ≈4–5 motes per communication disk) as N grows.
+DENSITY_SIDE_FACTOR = 5.0
+#: Inter-frame gap (s); below the ≈5.8 ms airtime of a default frame, so
+#: consecutive transmissions overlap and the collision path is exercised.
+FRAME_GAP = 0.002
+
+#: Committed baseline file name (repo root).
+BASELINE_FILENAME = "BENCH_medium.json"
+
+#: A run regresses when its speedup falls below baseline/REGRESSION_FACTOR.
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """Timings of one node-count cell (identical workload per mode)."""
+
+    nodes: int
+    frames: int
+    grid_seconds: float
+    bruteforce_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the grid index ran the same storm."""
+        if self.grid_seconds <= 0:
+            return float("inf")
+        return self.bruteforce_seconds / self.grid_seconds
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One full sweep over node counts."""
+
+    points: Tuple[BenchPoint, ...]
+
+    def point(self, nodes: int) -> BenchPoint:
+        for candidate in self.points:
+            if candidate.nodes == nodes:
+                return candidate
+        raise KeyError(nodes)
+
+    def node_counts(self) -> List[int]:
+        return sorted(point.nodes for point in self.points)
+
+    def format_table(self) -> str:
+        lines = ["Medium microbench — transmit storm, grid index vs "
+                 "brute force (same seed, digests verified equal)",
+                 f"{'nodes':>6} {'frames':>7} {'grid':>10} "
+                 f"{'bruteforce':>11} {'speedup':>8}"]
+        for point in sorted(self.points, key=lambda p: p.nodes):
+            lines.append(
+                f"{point.nodes:6d} {point.frames:7d} "
+                f"{point.grid_seconds:9.4f}s "
+                f"{point.bruteforce_seconds:10.4f}s "
+                f"{point.speedup:7.2f}x")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "medium-transmit-storm",
+            "communication_radius": COMMUNICATION_RADIUS,
+            "density_side_factor": DENSITY_SIDE_FACTOR,
+            "points": [
+                {"nodes": p.nodes, "frames": p.frames,
+                 "grid_seconds": round(p.grid_seconds, 6),
+                 "bruteforce_seconds": round(p.bruteforce_seconds, 6),
+                 "speedup": round(p.speedup, 3)}
+                for p in sorted(self.points, key=lambda p: p.nodes)],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "BenchResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(points=tuple(
+            BenchPoint(nodes=entry["nodes"], frames=entry["frames"],
+                       grid_seconds=entry["grid_seconds"],
+                       bruteforce_seconds=entry["bruteforce_seconds"])
+            for entry in data["points"]))
+
+
+def _run_storm(index: str, nodes: int, frames: int,
+               seed: int) -> Tuple[float, str]:
+    """Time one transmit storm; return (seconds, trace digest).
+
+    Everything random — placement, sender choice, channel loss — derives
+    from ``seed`` alone, so two calls differing only in ``index`` do the
+    exact same work and must log the exact same trace.
+    """
+    reset_frame_ids()
+    sim = Simulator(seed=seed)
+    medium = Medium(sim, communication_radius=COMMUNICATION_RADIUS,
+                    base_loss_rate=0.1, index=index)
+    side = DENSITY_SIDE_FACTOR * math.sqrt(nodes)
+    placement = random.Random(seed)
+    positions: List[Tuple[float, float]] = []
+    for node_id in range(nodes):
+        position = (placement.uniform(0.0, side),
+                    placement.uniform(0.0, side))
+        positions.append(position)
+        medium.attach(TransceiverPort(
+            node_id, (lambda p=position: p), lambda frame: None))
+    senders = random.Random(seed + 1)
+    started = time.perf_counter()
+    for _ in range(frames):
+        src = senders.randrange(nodes)
+        medium.channel_busy(positions[src])
+        medium.neighbors_of(src)
+        medium.transmit(Frame(src=src, dst=BROADCAST, kind="bench"))
+        sim.run(until=sim.now + FRAME_GAP)
+    sim.run(until=sim.now + 1.0)  # drain in-flight deliveries
+    elapsed = time.perf_counter() - started
+    return elapsed, trace_digest(sim)
+
+
+def bench_medium(quick: bool = False, seed: int = 2004,
+                 sizes: Optional[Tuple[int, ...]] = None,
+                 frames: Optional[int] = None) -> BenchResult:
+    """Run the sweep; raise if the two index modes ever diverge."""
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    if frames is None:
+        frames = QUICK_FRAMES if quick else FULL_FRAMES
+    points: List[BenchPoint] = []
+    for nodes in sizes:
+        grid_seconds, grid_digest = _run_storm("grid", nodes, frames, seed)
+        brute_seconds, brute_digest = _run_storm("bruteforce", nodes,
+                                                 frames, seed)
+        if grid_digest != brute_digest:
+            raise AssertionError(
+                f"index modes diverged at {nodes} nodes: grid digest "
+                f"{grid_digest[:16]}… != bruteforce {brute_digest[:16]}…")
+        points.append(BenchPoint(nodes=nodes, frames=frames,
+                                 grid_seconds=grid_seconds,
+                                 bruteforce_seconds=brute_seconds))
+    return BenchResult(points=tuple(points))
+
+
+def check_regression(current: BenchResult, baseline: BenchResult,
+                     factor: float = REGRESSION_FACTOR
+                     ) -> Tuple[bool, str]:
+    """Compare against the committed baseline at the largest common size.
+
+    Passes while ``current speedup ≥ baseline speedup / factor``.  Ratios
+    of ratios are machine-independent: a uniformly slower machine scales
+    both timings alike, leaving the speedup unchanged.
+    """
+    common = sorted(set(current.node_counts())
+                    & set(baseline.node_counts()))
+    if not common:
+        return False, "no common node counts between run and baseline"
+    nodes = common[-1]
+    measured = current.point(nodes).speedup
+    expected = baseline.point(nodes).speedup
+    floor = expected / factor
+    message = (f"{nodes} nodes: speedup {measured:.2f}x vs baseline "
+               f"{expected:.2f}x (floor {floor:.2f}x)")
+    if measured < floor:
+        return False, f"REGRESSION — {message}"
+    return True, f"ok — {message}"

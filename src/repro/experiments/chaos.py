@@ -34,8 +34,10 @@ from ..groups import GroupConfig, GroupManager, Role
 from ..metrics import RecoveryReport, analyze_recovery
 from ..metrics.recovery import CrashRecovery
 from ..node import Component
+from ..radio import reset_frame_ids
 from ..sensing import SensorField
 from ..sim import Simulator
+from .runner import parallel_map
 
 CONTEXT_TYPE = "chaos"
 REPORT_KIND = "chaos.report"
@@ -167,6 +169,9 @@ def _chaos_run(seed: int, heartbeat_period: float, crash_period: float,
                crashes: int, base_loss_rate: float,
                mote_count: int, sensing_count: int) -> RecoveryReport:
     """One chaos run: build the line deployment, arm the plan, measure."""
+    # Frame ids restart per run so traces depend only on this run's
+    # parameters — not on prior runs or on which sweep worker ran it.
+    reset_frame_ids()
     sim = Simulator(seed=seed)
     field = SensorField(sim, communication_radius=10.0,
                         base_loss_rate=base_loss_rate)
@@ -195,16 +200,27 @@ def _chaos_run(seed: int, heartbeat_period: float, crash_period: float,
                             stability=0.5 * heartbeat_period)
 
 
+def _chaos_task(task: Tuple[int, float, float, int, float, int, int]
+                ) -> RecoveryReport:
+    """Worker entry point: one (seed, cell-parameters) chaos run."""
+    (seed, heartbeat_period, crash_period, crashes, base_loss_rate,
+     mote_count, sensing_count) = task
+    return _chaos_run(seed, heartbeat_period, crash_period, crashes,
+                      base_loss_rate, mote_count, sensing_count)
+
+
 def chaos(heartbeat_periods: Optional[Sequence[float]] = None,
           crash_periods: Optional[Sequence[float]] = None,
           repetitions: int = 3, crashes_per_run: int = 4,
           base_loss_rate: float = 0.1, mote_count: int = 10,
           sensing_count: int = 4, seed_base: int = 70,
-          quick: bool = False) -> ChaosResult:
+          quick: bool = False, jobs: int = 1) -> ChaosResult:
     """Sweep crash rate × heartbeat period; aggregate recovery stats.
 
     Each sweep cell merges the per-crash measurements of ``repetitions``
-    independent runs into one :class:`RecoveryReport`.
+    independent runs into one :class:`RecoveryReport`.  ``jobs`` fans the
+    individual runs out worker-per-seed; seeds depend only on the cell
+    index and repetition, so parallel results equal serial ones.
     """
     if heartbeat_periods is None:
         heartbeat_periods = (0.25, 0.5) if quick else (0.25, 0.5, 1.0)
@@ -213,19 +229,25 @@ def chaos(heartbeat_periods: Optional[Sequence[float]] = None,
     if quick:
         repetitions = 1
         crashes_per_run = min(crashes_per_run, 3)
+    cells = [(heartbeat_period, crash_period)
+             for heartbeat_period in heartbeat_periods
+             for crash_period in crash_periods]
+    tasks = [(seed_base + 1000 * cell_index + rep, heartbeat_period,
+              crash_period, crashes_per_run, base_loss_rate, mote_count,
+              sensing_count)
+             for cell_index, (heartbeat_period, crash_period)
+             in enumerate(cells)
+             for rep in range(repetitions)]
+    reports = parallel_map(_chaos_task, tasks, jobs=jobs)
     points: List[ChaosPoint] = []
-    for heartbeat_period in heartbeat_periods:
-        for crash_period in crash_periods:
-            merged: List[CrashRecovery] = []
-            for rep in range(repetitions):
-                seed = seed_base + 1000 * len(points) + rep
-                report = _chaos_run(
-                    seed, heartbeat_period, crash_period, crashes_per_run,
-                    base_loss_rate, mote_count, sensing_count)
-                merged.extend(report.crashes)
-            points.append(ChaosPoint(
-                heartbeat_period=heartbeat_period,
-                crash_period=crash_period, runs=repetitions,
-                report=RecoveryReport(context_type=CONTEXT_TYPE,
-                                      crashes=tuple(merged))))
+    for cell_index, (heartbeat_period, crash_period) in enumerate(cells):
+        merged: List[CrashRecovery] = []
+        for report in reports[cell_index * repetitions:
+                              (cell_index + 1) * repetitions]:
+            merged.extend(report.crashes)
+        points.append(ChaosPoint(
+            heartbeat_period=heartbeat_period,
+            crash_period=crash_period, runs=repetitions,
+            report=RecoveryReport(context_type=CONTEXT_TYPE,
+                                  crashes=tuple(merged))))
     return ChaosResult(points=points)

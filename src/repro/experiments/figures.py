@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..metrics import (CommunicationMetrics, SpeedSearchResult,
                        TrajectoryComparison, max_trackable_speed,
                        mean_metrics)
+from .runner import parallel_map, run_scenarios
 from .scenarios import (SPEED_33_KMH, SPEED_50_KMH, TankRunResult,
                         TankScenario, run_tank_scenario)
 
@@ -43,6 +44,53 @@ def _stress_scenario(**overrides) -> TankScenario:
                         cpu_queue_limit=STRESS_QUEUE_LIMIT,
                         with_base_station=False, base_loss_rate=0.05)
     return replace(base, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Parallel speed-search plumbing (Figures 5 and 6)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SpeedSearchTask:
+    """Picklable description of one max-trackable-speed sweep cell.
+
+    Each Figure 5/6 data point is an independent speed search; the sweep
+    fans the cells out worker-per-cell and a worker reruns the exact
+    serial search, so parallel results match serial ones bit for bit.
+    """
+
+    mode: str                      # "takeover" | "relinquish" | "ratio"
+    sensing_radius: float
+    speeds: Tuple[float, ...]
+    repetitions: int
+    seed_base: int
+    heartbeat_period: float = 0.5
+    communication_radius: Optional[float] = None
+
+
+def _speed_search_worker(task: _SpeedSearchTask) -> SpeedSearchResult:
+    """Run one speed-search cell (module-level: workers must import it)."""
+
+    def probe(speed: float, seed: int) -> bool:
+        if task.mode == "ratio":
+            # member_rebroadcast off: the heartbeat's reach is the
+            # leader's single broadcast (CR), so nodes sensing the event
+            # beyond the leader's radio range really are blind to the
+            # existing label — the breakdown §6.2 describes.
+            scenario = _stress_scenario(
+                speed=speed, sensing_radius=task.sensing_radius,
+                communication_radius=task.communication_radius,
+                relinquish=True, seed=seed, member_rebroadcast=False,
+                task_cost=0.001, cpu_queue_limit=64)
+        else:
+            scenario = _stress_scenario(
+                speed=speed, sensing_radius=task.sensing_radius,
+                heartbeat_period=task.heartbeat_period,
+                relinquish=(task.mode == "relinquish"), seed=seed)
+        return run_tank_scenario(scenario).coherent
+
+    return max_trackable_speed(probe, task.speeds,
+                               repetitions=task.repetitions,
+                               seed_base=task.seed_base)
 
 
 # ----------------------------------------------------------------------
@@ -124,23 +172,24 @@ class Figure4Result:
 
 
 def figure4(repetitions: int = 3, seed_base: int = 40,
-            quick: bool = False) -> Figure4Result:
+            quick: bool = False, jobs: int = 1) -> Figure4Result:
     """Handover success for two speeds × two heartbeat reach settings.
 
     Setting 1 limits heartbeat transmit range to the sensing radius (new
     sensors ahead of the target never hear the leader); setting 2 extends
     it one hop past the sensing radius, which §6.1 found sufficient for
-    100% successful handovers.
+    100% successful handovers.  ``jobs`` parallelizes the repetition runs
+    (worker-per-seed) without changing any result.
     """
     if quick:
         repetitions = 1
     sensing_radius = 1.0
-    cells = []
-    for speed, kmh in ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50)):
+    grid = ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50))
+    scenarios = []
+    cell_keys = []
+    for speed, kmh in grid:
         for propagate in (False, True):
             reach = sensing_radius + (1.0 if propagate else 0.0)
-            successes = 0
-            failures = 0
             for rep in range(repetitions):
                 # member_rebroadcast off isolates heartbeat *reach*: with
                 # the flood on, perimeter members would relay heartbeats
@@ -150,7 +199,7 @@ def figure4(repetitions: int = 3, seed_base: int = 40,
                 # (as on the testbed's real radios), which is what gives
                 # slower targets more chances to hear a marginal
                 # heartbeat — the paper's speed effect.
-                scenario = TankScenario(
+                scenarios.append(TankScenario(
                     columns=12 if quick else 16, rows=3,
                     speed=speed, sensing_radius=sensing_radius,
                     heartbeat_tx_range=reach,
@@ -158,10 +207,18 @@ def figure4(repetitions: int = 3, seed_base: int = 40,
                     soft_edge_start=0.5, soft_edge_loss=0.9,
                     base_loss_rate=0.03,
                     with_base_station=False,
-                    seed=seed_base + 100 * kmh + rep)
-                run = run_tank_scenario(scenario)
-                successes += run.handovers.successful_handovers
-                failures += run.handovers.failed_handovers
+                    seed=seed_base + 100 * kmh + rep))
+                cell_keys.append((kmh, propagate))
+    outcomes = run_scenarios(scenarios, jobs=jobs)
+    tallies: Dict[Tuple[int, bool], List[int]] = {}
+    for key, outcome in zip(cell_keys, outcomes):
+        tally = tallies.setdefault(key, [0, 0])
+        tally[0] += outcome.successful_handovers
+        tally[1] += outcome.failed_handovers
+    cells = []
+    for speed, kmh in grid:
+        for propagate in (False, True):
+            successes, failures = tallies[(kmh, propagate)]
             total = successes + failures
             pct = 100.0 * successes / total if total else 0.0
             cells.append(Figure4Cell(
@@ -206,25 +263,25 @@ class Table1Result:
 
 
 def table1(repetitions: int = 3, seed_base: int = 10,
-           quick: bool = False) -> Table1Result:
+           quick: bool = False, jobs: int = 1) -> Table1Result:
     """Communication metrics of the correct (propagating) configuration at
     the two emulated tank speeds, averaged over independent runs."""
     if quick:
         repetitions = 1
+    grid = ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50))
+    scenarios = [TankScenario(columns=10 if quick else 12, rows=2,
+                              speed=speed, seed=seed_base + 100 * kmh + rep)
+                 for speed, kmh in grid
+                 for rep in range(repetitions)]
+    outcomes = run_scenarios(scenarios, jobs=jobs)
     rows = []
-    for speed, kmh in ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50)):
-        samples = []
-        coherent = 0
-        for rep in range(repetitions):
-            scenario = TankScenario(
-                columns=10 if quick else 12, rows=2, speed=speed,
-                seed=seed_base + 100 * kmh + rep)
-            run = run_tank_scenario(scenario)
-            samples.append(run.communication)
-            coherent += int(run.coherent)
-        rows.append(Table1Row(speed_kmh=kmh,
-                              metrics=mean_metrics(samples),
-                              coherent_runs=coherent, runs=repetitions))
+    for index, (speed, kmh) in enumerate(grid):
+        cell = outcomes[index * repetitions:(index + 1) * repetitions]
+        rows.append(Table1Row(
+            speed_kmh=kmh,
+            metrics=mean_metrics([o.communication for o in cell]),
+            coherent_runs=sum(int(o.coherent) for o in cell),
+            runs=repetitions))
     return Table1Result(rows=rows)
 
 
@@ -282,14 +339,15 @@ def figure5(heartbeat_periods: Optional[Sequence[float]] = None,
             speeds: Optional[Sequence[float]] = None,
             repetitions: int = 3, seed_base: int = 50,
             include_relinquish: bool = True,
-            quick: bool = False) -> Figure5Result:
+            quick: bool = False, jobs: int = 1) -> Figure5Result:
     """Max trackable speed vs heartbeat period.
 
     The worst case ("takeover") disables the relinquish optimization, so
     every handover relies on the receive timer — the curve rises as the
     period shrinks, then collapses when heartbeat-flood processing
     overloads the motes.  The "relinquish" reference is flat with respect
-    to the heartbeat period, as in the paper.
+    to the heartbeat period, as in the paper.  ``jobs`` fans the sweep's
+    data points out worker-per-cell.
     """
     if heartbeat_periods is None:
         heartbeat_periods = ((0.25, 1.0) if quick else
@@ -305,38 +363,27 @@ def figure5(heartbeat_periods: Optional[Sequence[float]] = None,
     relinquish_periods = ((heartbeat_periods[:1]) if quick else
                           tuple(heartbeat_periods[1::2]) or
                           tuple(heartbeat_periods[:1]))
-    points = []
+    speed_tuple = tuple(speeds)
+    tasks = []
+    cells = []
     for radius in sensing_radii:
         for period in heartbeat_periods:
-            def probe(speed: float, seed: int, _r=radius,
-                      _p=period) -> bool:
-                scenario = _stress_scenario(
-                    speed=speed, sensing_radius=_r, heartbeat_period=_p,
-                    relinquish=False, seed=seed)
-                return run_tank_scenario(scenario).coherent
-
-            search = max_trackable_speed(probe, speeds,
-                                         repetitions=repetitions,
-                                         seed_base=seed_base)
-            points.append(Figure5Point(heartbeat_period=period,
-                                       sensing_radius=radius,
-                                       mode="takeover", search=search))
+            tasks.append(_SpeedSearchTask(
+                mode="takeover", sensing_radius=radius,
+                speeds=speed_tuple, repetitions=repetitions,
+                seed_base=seed_base, heartbeat_period=period))
+            cells.append((period, radius, "takeover"))
         if include_relinquish:
             for period in relinquish_periods:
-                def probe_relinquish(speed: float, seed: int, _r=radius,
-                                     _p=period) -> bool:
-                    scenario = _stress_scenario(
-                        speed=speed, sensing_radius=_r,
-                        heartbeat_period=_p, relinquish=True, seed=seed)
-                    return run_tank_scenario(scenario).coherent
-
-                search = max_trackable_speed(probe_relinquish, speeds,
-                                             repetitions=repetitions,
-                                             seed_base=seed_base + 7)
-                points.append(Figure5Point(heartbeat_period=period,
-                                           sensing_radius=radius,
-                                           mode="relinquish",
-                                           search=search))
+                tasks.append(_SpeedSearchTask(
+                    mode="relinquish", sensing_radius=radius,
+                    speeds=speed_tuple, repetitions=repetitions,
+                    seed_base=seed_base + 7, heartbeat_period=period))
+                cells.append((period, radius, "relinquish"))
+    searches = parallel_map(_speed_search_worker, tasks, jobs=jobs)
+    points = [Figure5Point(heartbeat_period=period, sensing_radius=radius,
+                           mode=mode, search=search)
+              for (period, radius, mode), search in zip(cells, searches)]
     return Figure5Result(points=points)
 
 
@@ -385,14 +432,15 @@ def figure6(ratios: Optional[Sequence[float]] = None,
             sensing_radii: Sequence[float] = (1.5, 2.0, 3.0),
             speeds: Optional[Sequence[float]] = None,
             repetitions: int = 3, seed_base: int = 60,
-            quick: bool = False) -> Figure6Result:
+            quick: bool = False, jobs: int = 1) -> Figure6Result:
     """Max trackable speed vs the communication:sensing radius ratio.
 
     Uses the relinquish optimization ("to improve performance").  For a
     given ratio larger events are trackable at faster speeds (fewer
     handovers per distance), and the architecture breaks down when the
     ratio falls below 1 because concurrently-sensing nodes outside the
-    leader's radio range form spurious groups.
+    leader's radio range form spurious groups.  ``jobs`` fans the
+    (radius, ratio) cells out worker-per-cell.
     """
     if ratios is None:
         ratios = (1.0, 3.0) if quick else (0.7, 1.0, 1.5, 2.0, 3.0)
@@ -402,27 +450,18 @@ def figure6(ratios: Optional[Sequence[float]] = None,
     if quick:
         repetitions = 1
         sensing_radii = sensing_radii[:2]
-    points = []
+    speed_tuple = tuple(speeds)
+    tasks = []
+    cells = []
     for radius in sensing_radii:
         for ratio in ratios:
-            comm_radius = ratio * radius
-
-            def probe(speed: float, seed: int, _r=radius,
-                      _cr=comm_radius) -> bool:
-                # member_rebroadcast off: the heartbeat's reach is the
-                # leader's single broadcast (CR), so nodes sensing the
-                # event beyond the leader's radio range really are blind
-                # to the existing label — the breakdown §6.2 describes.
-                scenario = _stress_scenario(
-                    speed=speed, sensing_radius=_r,
-                    communication_radius=_cr, relinquish=True, seed=seed,
-                    member_rebroadcast=False,
-                    task_cost=0.001, cpu_queue_limit=64)
-                return run_tank_scenario(scenario).coherent
-
-            search = max_trackable_speed(probe, speeds,
-                                         repetitions=repetitions,
-                                         seed_base=seed_base)
-            points.append(Figure6Point(ratio=ratio, sensing_radius=radius,
-                                       search=search))
+            tasks.append(_SpeedSearchTask(
+                mode="ratio", sensing_radius=radius, speeds=speed_tuple,
+                repetitions=repetitions, seed_base=seed_base,
+                communication_radius=ratio * radius))
+            cells.append((ratio, radius))
+    searches = parallel_map(_speed_search_worker, tasks, jobs=jobs)
+    points = [Figure6Point(ratio=ratio, sensing_radius=radius,
+                           search=search)
+              for (ratio, radius), search in zip(cells, searches)]
     return Figure6Result(points=points)

@@ -22,6 +22,7 @@ from ..metrics import (CommunicationMetrics, HandoverStats,
                        TrajectoryComparison, analyze_handovers,
                        communication_metrics, compare_track,
                        tracking_coverage)
+from ..radio import reset_frame_ids
 from ..sensing import LineTrajectory, Target
 
 #: The paper's emulated T-72 speeds: 10 s/hop (50 km/hr) and 15 s/hop
@@ -68,6 +69,9 @@ class TankScenario:
     enable_directory: bool = False
     enable_mtp: bool = False
     leader_kill_times: Tuple[float, ...] = field(default_factory=tuple)
+    #: Medium spatial index ("grid" or "bruteforce"); results are
+    #: byte-identical either way — see the equivalence suite.
+    medium_index: str = "grid"
     seed: int = 0
 
     @property
@@ -162,6 +166,7 @@ def build_app(scenario: TankScenario) -> EnviroTrackApp:
         cpu_queue_limit=scenario.cpu_queue_limit,
         enable_directory=scenario.enable_directory,
         enable_mtp=scenario.enable_mtp,
+        medium_index=scenario.medium_index,
     )
     if scenario.deployment_jitter > 0:
         app.field.deploy_jittered_grid(scenario.columns, scenario.rows,
@@ -182,6 +187,10 @@ def build_app(scenario: TankScenario) -> EnviroTrackApp:
 
 def run_tank_scenario(scenario: TankScenario) -> TankRunResult:
     """Run the scenario to completion and analyze the trace."""
+    # Frame ids restart per run so the trace depends only on the scenario
+    # and seed — not on prior runs in this process or on which worker of
+    # a parallel sweep executed it.
+    reset_frame_ids()
     app = build_app(scenario)
     app.install()
     target = app.field.target("tank")

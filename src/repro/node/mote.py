@@ -84,8 +84,12 @@ class Mote:
         return self._position
 
     def move_to(self, position: Position) -> None:
-        """Relocate the node (sensor fields are static; kept for tests)."""
+        """Relocate the node (sensor fields are static; kept for tests).
+
+        Notifies the medium so its spatial index re-buckets this node.
+        """
         self._position = position
+        self.medium.refresh_position(self.node_id)
 
     # ------------------------------------------------------------------
     # Sensors

@@ -1,6 +1,6 @@
 """Wireless substrate: frames, broadcast medium, MAC and statistics."""
 
-from .frames import BROADCAST, DEFAULT_FRAME_BITS, Frame
+from .frames import BROADCAST, DEFAULT_FRAME_BITS, Frame, reset_frame_ids
 from .mac import CsmaMac, MacBase, NullMac, make_mac
 from .medium import (DEFAULT_BITRATE, Disturbance, Medium, TransceiverPort,
                      distance)
@@ -20,4 +20,5 @@ __all__ = [
     "TransceiverPort",
     "distance",
     "make_mac",
+    "reset_frame_ids",
 ]

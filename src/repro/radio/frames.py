@@ -23,6 +23,19 @@ DEFAULT_FRAME_BITS = 36 * 8
 _frame_ids = itertools.count(1)
 
 
+def reset_frame_ids() -> None:
+    """Restart frame-id numbering at 1.
+
+    Scenario drivers call this before each independent run so that frame
+    ids in trace records depend only on the run itself — never on how many
+    runs the process executed before, or on which worker process a
+    parallel sweep placed the run in.  (Ids must only be unique within one
+    simulation; nothing correlates them across runs.)
+    """
+    global _frame_ids
+    _frame_ids = itertools.count(1)
+
+
 @dataclass
 class Frame:
     """One over-the-air frame.

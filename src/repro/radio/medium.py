@@ -18,13 +18,28 @@ Models the MICA mote radio at the fidelity the evaluation needs:
 The medium never inspects payloads; addressing (unicast vs broadcast) is a
 filter applied by the receiving mote, exactly like a radio that hears
 everything in range but only delivers frames addressed to it.
+
+Spatial index
+-------------
+With thousands of motes the naive implementation is O(N) per delivery and
+O(N·active) per collision check.  The default ``index="grid"`` keeps every
+port in a uniform-grid bucket (cell size = ``communication_radius``) so
+:meth:`transmit`, :meth:`channel_busy` and :meth:`neighbors_of` only
+examine the cells that can possibly contain an in-range node.  The
+original full-scan path is preserved behind ``Medium(index="bruteforce")``
+for differential testing; both paths draw from the loss RNG streams in the
+exact same order (attach order), so a given seed produces byte-identical
+traces under either index (see ``docs/PROTOCOL.md`` §7 for the
+invariants — in particular, a node that moves must notify the medium via
+:meth:`refresh_position`, which :meth:`repro.node.Mote.move_to` does).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Tuple)
 
 from ..sim import Simulator
 from .frames import Frame
@@ -34,6 +49,9 @@ Position = Tuple[float, float]
 
 #: MICA mote channel capacity used throughout the paper's Table 1.
 DEFAULT_BITRATE = 50_000.0
+
+#: Supported spatial-index strategies.
+INDEX_MODES = ("grid", "bruteforce")
 
 
 def distance(a: Position, b: Position) -> float:
@@ -88,6 +106,8 @@ class _Transmission:
     src_pos: Position
     start: float
     end: float
+    src_port: Optional["TransceiverPort"] = None
+    cell: Optional[Tuple[int, int]] = None
     receptions: List[_Reception] = field(default_factory=list)
 
     def overlaps(self, other: "_Transmission") -> bool:
@@ -116,6 +136,71 @@ class TransceiverPort:
         self._deliver_fn(frame)
 
 
+class _GridIndex:
+    """Uniform-grid spatial hash of attached transceivers.
+
+    Buckets are keyed by integer cell coordinates (cell size = the
+    medium's communication radius), so every disk query of radius ≤ one
+    cell touches at most the 3×3 neighborhood of the query cell.  Buckets
+    hold ports in attach order; bucket membership tracks the *last
+    notified* position of each port (updated on attach/detach/refresh).
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell size must be positive: {cell_size}")
+        self.cell_size = cell_size
+        self._buckets: Dict[Tuple[int, int],
+                            Dict[int, TransceiverPort]] = {}
+        self._cells: Dict[int, Tuple[int, int]] = {}
+
+    def cell_of(self, position: Position) -> Tuple[int, int]:
+        return (math.floor(position[0] / self.cell_size),
+                math.floor(position[1] / self.cell_size))
+
+    def add(self, port: TransceiverPort) -> None:
+        key = self.cell_of(port.position)
+        self._buckets.setdefault(key, {})[port.node_id] = port
+        self._cells[port.node_id] = key
+
+    def remove(self, node_id: int) -> None:
+        key = self._cells.pop(node_id, None)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.pop(node_id, None)
+            if not bucket:
+                del self._buckets[key]
+
+    def refresh(self, port: TransceiverPort) -> None:
+        """Re-bucket one port after its position changed."""
+        new_key = self.cell_of(port.position)
+        if self._cells.get(port.node_id) == new_key:
+            return
+        self.remove(port.node_id)
+        self._buckets.setdefault(new_key, {})[port.node_id] = port
+        self._cells[port.node_id] = new_key
+
+    def cells_covering(self, position: Position,
+                       radius: float) -> Iterator[Tuple[int, int]]:
+        """Keys of every cell intersecting the disk (superset)."""
+        span = max(1, math.ceil(radius / self.cell_size))
+        cx, cy = self.cell_of(position)
+        for dx in range(-span, span + 1):
+            for dy in range(-span, span + 1):
+                yield (cx + dx, cy + dy)
+
+    def near(self, position: Position,
+             radius: float) -> Iterator[TransceiverPort]:
+        """All ports bucketed within ``radius``-covering cells (a superset
+        of the ports actually inside the disk)."""
+        for key in self.cells_covering(position, radius):
+            bucket = self._buckets.get(key)
+            if bucket:
+                yield from bucket.values()
+
+
 class Medium:
     """The single shared channel all motes transmit on.
 
@@ -135,6 +220,10 @@ class Medium:
     propagation_delay:
         Fixed additional delivery latency (signal flight time), usually
         negligible next to airtime.
+    index:
+        ``"grid"`` (default) uses the uniform-grid spatial index;
+        ``"bruteforce"`` scans every attached port — kept for
+        differential testing, byte-identical for a given seed.
     """
 
     def __init__(self, sim: Simulator, communication_radius: float,
@@ -143,7 +232,8 @@ class Medium:
                  bitrate: float = DEFAULT_BITRATE,
                  propagation_delay: float = 0.0,
                  soft_edge_start: float = 1.0,
-                 soft_edge_loss: float = 0.0) -> None:
+                 soft_edge_loss: float = 0.0,
+                 index: str = "grid") -> None:
         if communication_radius <= 0:
             raise ValueError("communication radius must be positive")
         if not 0.0 <= base_loss_rate < 1.0:
@@ -155,6 +245,10 @@ class Medium:
         if not 0.0 <= soft_edge_loss <= 1.0:
             raise ValueError(
                 f"soft edge loss must be in [0, 1]: {soft_edge_loss}")
+        if index not in INDEX_MODES:
+            raise ValueError(
+                f"unknown index mode {index!r} (expected one of "
+                f"{INDEX_MODES})")
         self.sim = sim
         self.communication_radius = communication_radius
         self.interference_radius = (communication_radius
@@ -170,6 +264,7 @@ class Medium:
         # rather than binary (the Figure 4 speed effect depends on it).
         self.soft_edge_start = soft_edge_start
         self.soft_edge_loss = soft_edge_loss
+        self.index_mode = index
         self.stats = RadioStats(started_at=sim.now)
         self._ports: Dict[int, TransceiverPort] = {}
         self._active: List[_Transmission] = []
@@ -178,6 +273,15 @@ class Medium:
         # Separate stream so adding a disturbance never perturbs the
         # baseline loss draws of an otherwise identical run.
         self._jam_rng = sim.rng.stream("radio.jam")
+        # Attach order per node id: the grid index sorts its candidate
+        # sets by it so both index modes draw loss randomness in the
+        # same (dict-insertion) order — the determinism the equivalence
+        # suite locks down.
+        self._attach_order: Dict[int, int] = {}
+        self._attach_counter = 0
+        self._index: Optional[_GridIndex] = (
+            _GridIndex(communication_radius) if index == "grid" else None)
+        self._active_cells: Dict[Tuple[int, int], List[_Transmission]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -187,10 +291,36 @@ class Medium:
         if port.node_id in self._ports:
             raise ValueError(f"node {port.node_id} already attached")
         self._ports[port.node_id] = port
+        self._attach_order[port.node_id] = self._attach_counter
+        self._attach_counter += 1
+        if self._index is not None:
+            self._index.add(port)
 
     def detach(self, node_id: int) -> None:
-        """Remove a transceiver from the channel."""
+        """Remove a transceiver from the channel.
+
+        In-flight transmissions snapshot their sender; once the sender is
+        detached it no longer registers on carrier sense and pending
+        receptions at the detached node are discarded instead of
+        delivered (see :meth:`channel_busy` / :meth:`_complete`).
+        """
         self._ports.pop(node_id, None)
+        self._attach_order.pop(node_id, None)
+        if self._index is not None:
+            self._index.remove(node_id)
+
+    def refresh_position(self, node_id: int) -> None:
+        """Re-bucket a node after it moved (no-op for unknown nodes).
+
+        Positions are sampled through each port's callback, so the medium
+        cannot observe movement on its own; anything that relocates a
+        node (``Mote.move_to``) must call this for the grid index to stay
+        consistent.  Positions must not change while a transmission is in
+        flight (airtime is milliseconds; field motes are static).
+        """
+        port = self._ports.get(node_id)
+        if port is not None and self._index is not None:
+            self._index.refresh(port)
 
     def port(self, node_id: int) -> TransceiverPort:
         """The registered transceiver of ``node_id``."""
@@ -200,15 +330,51 @@ class Medium:
         """Sorted ids of all attached transceivers."""
         return sorted(self._ports)
 
+    def _attached(self, port: Optional[TransceiverPort]) -> bool:
+        """Is this exact port object still registered?"""
+        return (port is not None
+                and self._ports.get(port.node_id) is port)
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (the spatial-index seam)
+    # ------------------------------------------------------------------
+    def _ports_near(self, position: Position,
+                    radius: float) -> Iterable[TransceiverPort]:
+        """Ports that *may* be within ``radius`` of ``position``, in
+        attach order.  Callers still apply the exact distance test; both
+        index modes enumerate the true in-range subset in the same order.
+        """
+        if self._index is None:
+            return self._ports.values()
+        order = self._attach_order
+        return sorted(self._index.near(position, radius),
+                      key=lambda port: order[port.node_id])
+
+    def _active_near(self, position: Position,
+                     radius: float) -> Iterable[_Transmission]:
+        """In-flight transmissions whose (snapshotted) source may be
+        within ``radius`` of ``position``."""
+        if self._index is None:
+            return self._active
+        candidates: List[_Transmission] = []
+        for key in self._index.cells_covering(position, radius):
+            candidates.extend(self._active_cells.get(key, ()))
+        return candidates
+
     # ------------------------------------------------------------------
     # Channel state
     # ------------------------------------------------------------------
     def channel_busy(self, pos: Position) -> bool:
-        """Carrier sense: is any in-flight transmitter audible at ``pos``?"""
+        """Carrier sense: is any in-flight transmitter audible at ``pos``?
+
+        Transmissions whose sender has since been detached are ignored:
+        a removed node's stale position must not keep the channel busy.
+        """
         self._prune()
         return any(
             distance(tx.src_pos, pos) <= self.communication_radius
-            for tx in self._active)
+            for tx in self._active_near(pos, self.communication_radius)
+            if self._attached(tx.src_port))
 
     def airtime(self, frame: Frame) -> float:
         """Seconds this frame occupies the channel."""
@@ -221,7 +387,7 @@ class Medium:
         limit = self.communication_radius if radius is None else radius
         origin = port.position
         return sorted(
-            other.node_id for other in self._ports.values()
+            other.node_id for other in self._ports_near(origin, limit)
             if other.node_id != node_id
             and distance(origin, other.position) <= limit)
 
@@ -267,13 +433,14 @@ class Medium:
         frame.sent_at = now
         src_pos = src_port.position
         tx = _Transmission(frame=frame, src_pos=src_pos, start=now,
-                           end=now + self.airtime(frame))
+                           end=now + self.airtime(frame),
+                           src_port=src_port)
         self._prune()
         disturbances = self.active_disturbances()
         reach = (self.communication_radius if frame.tx_range is None
                  else min(frame.tx_range, self.communication_radius))
         # Build the reception set: everyone in range except the sender.
-        for port in self._ports.values():
+        for port in self._ports_near(src_pos, reach):
             if port.node_id == frame.src or not port.enabled:
                 continue
             d = distance(src_pos, port.position)
@@ -290,7 +457,13 @@ class Medium:
                     reception.corrupt("jam")
             tx.receptions.append(reception)
         # Mutual collision marking against concurrently active airtime.
-        for other in self._active:
+        # Any transmission that can corrupt one of our receptions — or
+        # whose receptions we can corrupt — has its source within
+        # interference_radius + communication_radius of ours, so the
+        # indexed candidate set is a superset of the relevant ones.
+        interference_reach = (self.interference_radius
+                              + self.communication_radius)
+        for other in self._active_near(src_pos, interference_reach):
             if not tx.overlaps(other):
                 continue
             for reception in tx.receptions:
@@ -303,6 +476,9 @@ class Medium:
                         <= self.interference_radius:
                     reception.corrupt("collision")
         self._active.append(tx)
+        if self._index is not None:
+            tx.cell = self._index.cell_of(src_pos)
+            self._active_cells.setdefault(tx.cell, []).append(tx)
         self.stats.on_send(frame.kind, frame.size_bits, frame.src, now)
         self.sim.record("radio.tx", node=frame.src, kind=frame.kind,
                         frame_id=frame.frame_id, dst=frame.dst)
@@ -326,6 +502,11 @@ class Medium:
         delivered = 0
         dst_received = False
         for reception in tx.receptions:
+            if not self._attached(reception.receiver):
+                # Receiver detached while the frame was in flight: the
+                # radio is gone, so the reception never happened — it is
+                # neither an attempt nor a delivery.
+                continue
             self.stats.on_reception_attempt(tx.frame.kind,
                                             reception.corrupted)
             if reception.corrupted:
@@ -347,4 +528,16 @@ class Medium:
 
     def _prune(self) -> None:
         now = self.sim.now
-        self._active = [tx for tx in self._active if tx.end > now]
+        if all(tx.end > now for tx in self._active):
+            return
+        kept: List[_Transmission] = []
+        for tx in self._active:
+            if tx.end > now:
+                kept.append(tx)
+            elif tx.cell is not None:
+                bucket = self._active_cells.get(tx.cell)
+                if bucket is not None:
+                    bucket.remove(tx)
+                    if not bucket:
+                        del self._active_cells[tx.cell]
+        self._active = kept

@@ -43,6 +43,8 @@ class SensorField:
         MAC installed on every mote (``"csma"`` or ``"null"``).
     task_cost / cpu_queue_limit:
         CPU model for every mote.
+    index:
+        Medium spatial-index strategy (``"grid"`` or ``"bruteforce"``).
     """
 
     def __init__(self, sim: Simulator, communication_radius: float = 6.0,
@@ -53,14 +55,16 @@ class SensorField:
                  cpu_queue_limit: int = 64,
                  propagation_delay: float = 0.0,
                  soft_edge_start: float = 1.0,
-                 soft_edge_loss: float = 0.0) -> None:
+                 soft_edge_loss: float = 0.0,
+                 index: str = "grid") -> None:
         self.sim = sim
         self.medium = Medium(sim, communication_radius=communication_radius,
                              interference_radius=interference_radius,
                              base_loss_rate=base_loss_rate, bitrate=bitrate,
                              propagation_delay=propagation_delay,
                              soft_edge_start=soft_edge_start,
-                             soft_edge_loss=soft_edge_loss)
+                             soft_edge_loss=soft_edge_loss,
+                             index=index)
         self.mac = mac
         self.task_cost = task_cost
         self.cpu_queue_limit = cpu_queue_limit
@@ -205,3 +209,15 @@ class SensorField:
 
     def fail_node(self, node_id: int) -> None:
         self.motes[node_id].fail()
+
+    def remove_mote(self, node_id: int) -> Mote:
+        """Physically remove a mote: silence it and detach its radio.
+
+        Unlike :meth:`fail_node` (which leaves a dead-but-present radio),
+        removal takes the node off the medium entirely — neighbor lists,
+        carrier sense and pending deliveries all forget it.
+        """
+        mote = self.motes.pop(node_id)
+        mote.fail()
+        self.medium.detach(node_id)
+        return mote

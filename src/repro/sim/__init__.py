@@ -9,7 +9,8 @@ from .engine import SimulationError, Simulator
 from .events import Event, TraceRecord
 from .rng import RandomStreams, derive_seed
 from .timers import OneShotTimer, PeriodicTimer, WatchdogTimer
-from .tracefile import TraceQuery, dump_trace, load_trace, query
+from .tracefile import (TraceQuery, dump_trace, load_trace, query,
+                        trace_digest)
 
 __all__ = [
     "Event",
@@ -25,4 +26,5 @@ __all__ = [
     "dump_trace",
     "load_trace",
     "query",
+    "trace_digest",
 ]

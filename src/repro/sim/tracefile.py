@@ -8,9 +8,10 @@ interactive debugging of protocol behaviour.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 from .engine import Simulator
 from .events import TraceRecord
@@ -31,6 +32,24 @@ def dict_to_record(data: dict) -> TraceRecord:
     return TraceRecord(time=time, category=category,
                        node=None if node is None else int(node),
                        detail=data)
+
+
+def trace_digest(source: Union[Simulator, Iterable[TraceRecord]]) -> str:
+    """SHA-256 hex digest of a trace's canonical JSONL serialization.
+
+    Two runs are behaviourally identical exactly when their digests match:
+    every record's time, category, node and detail participate.  The
+    determinism suite uses this to compare whole runs across repeats,
+    worker processes and medium index modes without shipping full traces
+    around.
+    """
+    records = source.trace if isinstance(source, Simulator) else source
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(json.dumps(record_to_dict(record), default=str,
+                                 sort_keys=True).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def dump_trace(sim: Simulator, path: str,

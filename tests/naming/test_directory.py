@@ -99,3 +99,47 @@ def test_directory_point_is_shared_knowledge():
     points = {service.directory_point("fire")
               for service in services.values()}
     assert len(points) == 1
+
+
+def test_lookup_survives_leader_handoff():
+    # The label migrates to a new leader (handover); a later registration
+    # must win, and the directory must keep answering with one entry.
+    sim, field, services = build()
+    services[0].register("car", "car#1.1", (0.0, 0.0), leader=1)
+    sim.run(until=2.0)
+    services[9].register("car", "car#1.1", (2.0, 1.0), leader=9)
+    sim.run(until=sim.now + 2.0)
+    answers = lookup(sim, services, 42, "car")
+    assert [(e.label, e.leader) for e in answers] == [("car#1.1", 9)]
+    assert answers[0].location == (2.0, 1.0)
+
+
+def test_stale_registration_rejected():
+    # A delayed replica of the *old* leader's registration must not
+    # overwrite the newer entry (the `updated` timestamp arbitrates).
+    sim, field, services = build()
+    service = services[0]
+    fresh = {"label": "car#1.1", "context_type": "car",
+             "location": [2.0, 1.0], "leader": 9, "time": 10.0}
+    stale = {"label": "car#1.1", "context_type": "car",
+             "location": [0.0, 0.0], "leader": 1, "time": 4.0}
+    assert service._store(fresh).leader == 9
+    kept = service._store(stale)
+    assert kept.leader == 9  # the stored (newer) entry wins
+    assert [e.leader for e in service.entries_for("car")] == [9]
+
+
+def test_lookup_survives_directory_node_detach():
+    # Unlike fail_node (dead mote, radio still attached), remove_mote
+    # detaches the radio entirely; replicas must still answer queries.
+    sim, field, services = build()
+    services[0].register("car", "car#1.1", (0.0, 0.0), leader=1)
+    sim.run(until=2.0)
+    holders = [node for node, service in services.items()
+               if service.entries_for("car")]
+    assert holders, "registration never stored"
+    primary = min(holders)
+    field.remove_mote(primary)
+    sim.run(until=sim.now + 1.0)
+    answers = lookup(sim, services, 40, "car", timeout=8.0)
+    assert [e.label for e in answers] == ["car#1.1"]

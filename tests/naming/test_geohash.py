@@ -1,8 +1,18 @@
 """Unit tests for geographic hashing of type names."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.naming import FieldBounds, hash_to_coordinate
+
+
+def bounds_strategy():
+    coordinate = st.floats(min_value=-1000.0, max_value=1000.0,
+                           allow_nan=False)
+    return st.tuples(coordinate, coordinate, coordinate, coordinate) \
+        .filter(lambda t: t[0] + 1e-3 < t[2] and t[1] + 1e-3 < t[3]) \
+        .map(lambda t: FieldBounds(t[0], t[1], t[2], t[3]))
 
 
 class TestFieldBounds:
@@ -47,3 +57,26 @@ class TestHash:
         plain = hash_to_coordinate("fire", self.BOUNDS)
         salted = hash_to_coordinate("fire", self.BOUNDS, salt="v2")
         assert plain != salted
+
+
+class TestHashProperties:
+    """Property coverage: every (name, salt, field) stays in-field."""
+
+    @given(name=st.text(max_size=64), salt=st.text(max_size=16),
+           bounds=bounds_strategy())
+    def test_hashed_coordinate_always_in_field(self, name, salt, bounds):
+        assert bounds.contains(hash_to_coordinate(name, bounds, salt=salt))
+
+    @given(name=st.text(max_size=64), bounds=bounds_strategy())
+    def test_hash_is_a_pure_function(self, name, bounds):
+        # Nodes hash with no coordination; any disagreement would split
+        # the directory.
+        assert hash_to_coordinate(name, bounds) == \
+            hash_to_coordinate(name, bounds)
+
+    @given(bounds=bounds_strategy())
+    def test_shrunk_bounds_still_contain_hashes(self, bounds):
+        shrunk = bounds.shrunk(min(bounds.width, bounds.height) / 4.0)
+        point = hash_to_coordinate("tracker", shrunk)
+        assert shrunk.contains(point)
+        assert bounds.contains(point)

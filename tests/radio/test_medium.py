@@ -205,3 +205,104 @@ def test_stats_reset():
     medium.stats.reset(sim.now)
     assert medium.stats.frames_sent == 0
     assert medium.stats.started_at == sim.now
+
+
+# ----------------------------------------------------------------------
+# Spatial index modes and detach semantics
+# ----------------------------------------------------------------------
+
+def test_invalid_index_mode_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(ValueError):
+        Medium(sim, communication_radius=2.0, index="quadtree")
+
+
+@pytest.mark.parametrize("index", ["grid", "bruteforce"])
+def test_basic_delivery_in_both_index_modes(index):
+    sim, medium = setup_medium(radius=2.0, index=index)
+    inbox = []
+    make_port(medium, 0, (0.0, 0.0), inbox)
+    make_port(medium, 1, (1.0, 0.0), inbox)
+    make_port(medium, 2, (5.0, 0.0), inbox)
+    medium.transmit(Frame(src=0, dst=BROADCAST, kind="x"))
+    sim.run()
+    assert [node for node, _ in inbox] == [1]
+
+
+@pytest.mark.parametrize("index", ["grid", "bruteforce"])
+def test_detached_receiver_mid_flight_gets_nothing(index):
+    # Regression: a node detached while a frame is in flight must not
+    # receive it (its radio is gone), and since no other receiver exists
+    # the frame counts as lost.
+    sim, medium = setup_medium(radius=5.0, index=index)
+    inbox = []
+    make_port(medium, 0, (0.0, 0.0), inbox)
+    make_port(medium, 1, (1.0, 0.0), inbox)
+    medium.transmit(Frame(src=0, dst=BROADCAST, kind="x"))
+    medium.detach(1)
+    sim.run()
+    assert inbox == []
+    assert medium.stats.frames_lost == 1
+    # The vanished reception is not an attempt either — no phantom stats.
+    assert medium.stats.reception_attempts_by_kind["x"] == 0
+
+
+@pytest.mark.parametrize("index", ["grid", "bruteforce"])
+def test_detached_sender_clears_channel_busy(index):
+    # Regression: an in-flight transmission whose sender has been
+    # detached must not keep the channel busy via its stale position.
+    sim, medium = setup_medium(radius=5.0, index=index)
+    make_port(medium, 0, (0.0, 0.0), [])
+    make_port(medium, 1, (1.0, 0.0), [])
+    medium.transmit(Frame(src=0, dst=BROADCAST, kind="x"))
+    assert medium.channel_busy((1.0, 0.0))
+    medium.detach(0)
+    assert not medium.channel_busy((1.0, 0.0))
+
+
+@pytest.mark.parametrize("index", ["grid", "bruteforce"])
+def test_neighbors_of_skips_detached(index):
+    _, medium = setup_medium(radius=2.0, index=index)
+    make_port(medium, 0, (0.0, 0.0), [])
+    make_port(medium, 1, (1.0, 0.0), [])
+    make_port(medium, 2, (1.5, 0.0), [])
+    assert medium.neighbors_of(0) == [1, 2]
+    medium.detach(1)
+    assert medium.neighbors_of(0) == [2]
+
+
+def test_reattach_after_detach_is_fresh():
+    # The identity check must accept a *new* port reusing a detached id.
+    sim, medium = setup_medium(radius=5.0)
+    inbox = []
+    make_port(medium, 0, (0.0, 0.0), inbox)
+    make_port(medium, 1, (1.0, 0.0), inbox)
+    medium.detach(1)
+    make_port(medium, 1, (2.0, 0.0), inbox)
+    medium.transmit(Frame(src=0, dst=BROADCAST, kind="x"))
+    sim.run()
+    assert [node for node, _ in inbox] == [1]
+
+
+def test_refresh_position_rebuckets_moved_node():
+    # A node moved far across the grid must be found at its new cell
+    # (and no longer at the old one) once refresh_position is called.
+    sim, medium = setup_medium(radius=2.0)
+    inbox = []
+    make_port(medium, 0, (0.0, 0.0), inbox)
+    pos = [(50.0, 50.0)]
+    port = TransceiverPort(1, lambda: pos[0],
+                           lambda frame: inbox.append((1, frame)))
+    medium.attach(port)
+    assert medium.neighbors_of(0) == []
+    pos[0] = (1.0, 0.0)
+    medium.refresh_position(1)
+    assert medium.neighbors_of(0) == [1]
+    medium.transmit(Frame(src=0, dst=BROADCAST, kind="x"))
+    sim.run()
+    assert [node for node, _ in inbox] == [1]
+
+
+def test_refresh_position_unknown_node_is_noop():
+    _, medium = setup_medium(radius=2.0)
+    medium.refresh_position(42)  # must not raise
