@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..telemetry.registry import NullRegistry
 from .functions import AggregationFn
+
+#: Shared sink for stores constructed without a metrics registry.
+_NULL_METRICS = NullRegistry()
 
 
 @dataclass(frozen=True)
@@ -124,13 +128,24 @@ class AggregateStore:
     """All sliding windows of one context label, owned by its leader."""
 
     def __init__(self, specs: List[AggregateVarSpec],
-                 registry) -> None:
+                 registry, metrics=None) -> None:
         self._windows: Dict[str, SlidingWindow] = {}
         for spec in specs:
             if spec.name in self._windows:
                 raise ValueError(f"duplicate aggregate var {spec.name!r}")
             self._windows[spec.name] = SlidingWindow(
                 spec, registry.get(spec.function))
+        # Telemetry: leaders pass the run's MetricsRegistry; stores built
+        # without one (unit tests, ad-hoc scripts) count into a null sink.
+        metrics = metrics if metrics is not None else _NULL_METRICS
+        self._reports_metric = metrics.counter(
+            "repro_agg_reports_total",
+            "Member readings folded into aggregate windows, by variable.",
+            ("var",))
+        self._reads_metric = metrics.counter(
+            "repro_agg_reads_total",
+            "Aggregate variable reads, by variable and validity.",
+            ("var", "valid"))
 
     def window(self, name: str) -> SlidingWindow:
         return self._windows[name]
@@ -145,10 +160,14 @@ class AggregateStore:
             window = self._windows.get(name)
             if window is not None:
                 window.add(sender, value, time)
+                self._reports_metric.inc(1.0, name)
 
     def read(self, name: str, now: float) -> ReadResult:
         """Read one aggregate variable with full QoS semantics."""
-        return self._windows[name].evaluate(now)
+        result = self._windows[name].evaluate(now)
+        self._reads_metric.inc(1.0, name,
+                               "true" if result.valid else "false")
+        return result
 
     def read_all(self, now: float) -> Dict[str, ReadResult]:
         return {name: self.read(name, now) for name in self._windows}

@@ -64,6 +64,10 @@ class EnviroTrackApp:
         core works without them).
     registry:
         Custom aggregation registry; defaults to a fresh stock registry.
+    telemetry:
+        Passed to the :class:`Simulator`; False turns the metrics
+        registry and span tracker into null objects.  Either way the
+        run's trace (and so its digest) is identical.
     """
 
     def __init__(self, seed: int = 0, communication_radius: float = 6.0,
@@ -73,8 +77,9 @@ class EnviroTrackApp:
                  soft_edge_start: float = 1.0, soft_edge_loss: float = 0.0,
                  enable_directory: bool = True, enable_mtp: bool = True,
                  registry: Optional[AggregationRegistry] = None,
-                 medium_index: str = "grid") -> None:
-        self.sim = Simulator(seed=seed)
+                 medium_index: str = "grid",
+                 telemetry: bool = True) -> None:
+        self.sim = Simulator(seed=seed, telemetry=telemetry)
         self.field = SensorField(
             self.sim, communication_radius=communication_radius,
             base_loss_rate=base_loss_rate, bitrate=bitrate, mac=mac,

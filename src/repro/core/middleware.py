@@ -222,7 +222,8 @@ class EnviroTrackAgent(Component, GroupListener):
                         inherited_weight: int, via: str) -> None:
         runtime = self._runtimes[context_type]
         definition = runtime.definition
-        runtime.store = AggregateStore(definition.aggregates, self.registry)
+        runtime.store = AggregateStore(definition.aggregates, self.registry,
+                                       metrics=self.sim.metrics)
         runtime.octx = ObjectContext(
             context_type=context_type, label=label, node_id=self.node_id,
             clock=lambda: self.sim.now, store=runtime.store,

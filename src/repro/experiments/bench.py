@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple
 
 from ..radio import BROADCAST, Frame, Medium, TransceiverPort, \
     reset_frame_ids
-from ..sim import Simulator, trace_digest
+from ..sim import Simulator, dump_trace, trace_digest
 
 #: Node counts for the full and the ``--quick`` smoke sweep.
 FULL_SIZES = (100, 250, 500)
@@ -125,16 +125,19 @@ class BenchResult:
             for entry in data["points"]))
 
 
-def _run_storm(index: str, nodes: int, frames: int,
-               seed: int) -> Tuple[float, str]:
+def _run_storm(index: str, nodes: int, frames: int, seed: int,
+               telemetry: bool = True,
+               trace_path: Optional[str] = None) -> Tuple[float, str]:
     """Time one transmit storm; return (seconds, trace digest).
 
     Everything random — placement, sender choice, channel loss — derives
     from ``seed`` alone, so two calls differing only in ``index`` do the
-    exact same work and must log the exact same trace.
+    exact same work and must log the exact same trace.  ``telemetry``
+    toggles the metrics/span machinery (the trace digest is identical
+    either way); ``trace_path`` dumps the storm's trace as JSONL.
     """
     reset_frame_ids()
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     medium = Medium(sim, communication_radius=COMMUNICATION_RADIUS,
                     base_loss_rate=0.1, index=index)
     side = DENSITY_SIDE_FACTOR * math.sqrt(nodes)
@@ -156,20 +159,29 @@ def _run_storm(index: str, nodes: int, frames: int,
         sim.run(until=sim.now + FRAME_GAP)
     sim.run(until=sim.now + 1.0)  # drain in-flight deliveries
     elapsed = time.perf_counter() - started
+    if trace_path:
+        dump_trace(sim, trace_path)
     return elapsed, trace_digest(sim)
 
 
 def bench_medium(quick: bool = False, seed: int = 2004,
                  sizes: Optional[Tuple[int, ...]] = None,
-                 frames: Optional[int] = None) -> BenchResult:
-    """Run the sweep; raise if the two index modes ever diverge."""
+                 frames: Optional[int] = None,
+                 trace_out: Optional[str] = None) -> BenchResult:
+    """Run the sweep; raise if the two index modes ever diverge.
+
+    ``trace_out`` writes the largest grid storm's trace as JSONL.
+    """
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
     if frames is None:
         frames = QUICK_FRAMES if quick else FULL_FRAMES
     points: List[BenchPoint] = []
+    largest = max(sizes)
     for nodes in sizes:
-        grid_seconds, grid_digest = _run_storm("grid", nodes, frames, seed)
+        grid_seconds, grid_digest = _run_storm(
+            "grid", nodes, frames, seed,
+            trace_path=trace_out if nodes == largest else None)
         brute_seconds, brute_digest = _run_storm("bruteforce", nodes,
                                                  frames, seed)
         if grid_digest != brute_digest:
@@ -180,6 +192,77 @@ def bench_medium(quick: bool = False, seed: int = 2004,
                                  grid_seconds=grid_seconds,
                                  bruteforce_seconds=brute_seconds))
     return BenchResult(points=tuple(points))
+
+
+#: Telemetry with the profiler left disabled may cost at most this
+#: factor over a telemetry-off run (the CI bench-smoke gate).
+OVERHEAD_FACTOR = 1.05
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Wall-time comparison of one storm with telemetry off vs on."""
+
+    nodes: int
+    frames: int
+    repeats: int
+    off_seconds: float
+    on_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Telemetry-on time as a multiple of telemetry-off time."""
+        if self.off_seconds <= 0:
+            return 1.0
+        return self.on_seconds / self.off_seconds
+
+    def within(self, factor: float = OVERHEAD_FACTOR) -> bool:
+        return self.ratio <= factor
+
+    def format_table(self) -> str:
+        return ("Telemetry overhead — transmit storm, profiler disabled "
+                "(median interleaved off/on pair)\n"
+                f"{'nodes':>6} {'frames':>7} {'repeats':>8} "
+                f"{'telemetry off':>14} {'telemetry on':>13} "
+                f"{'ratio':>6}\n"
+                f"{self.nodes:6d} {self.frames:7d} {self.repeats:8d} "
+                f"{self.off_seconds:13.4f}s {self.on_seconds:12.4f}s "
+                f"{self.ratio:5.3f}x")
+
+
+def bench_telemetry_overhead(nodes: int = 100, frames: int = 600,
+                             seed: int = 2004,
+                             repeats: int = 7) -> OverheadResult:
+    """Measure what telemetry costs while the profiler stays disabled.
+
+    Runs the same storm with telemetry off (null registry + span
+    tracker) and on (live registry + spans, profiler NOT enabled),
+    interleaved ``repeats`` times, and reports the pair with the
+    *median* on/off ratio.  Pairing adjacent runs cancels machine-speed
+    drift on shared CI hosts (a fast moment speeds up both halves of a
+    pair), and the median discards pairs a scheduler hiccup landed in.
+    The two modes must produce identical trace digests (telemetry is
+    pure side-state), so this doubles as an equivalence check.  The
+    disabled profiler itself is a single ``is None`` test per
+    dispatched event, so the measured ratio bounds its cost too.
+    """
+    pairs: List[Tuple[float, float]] = []
+    off_digest = on_digest = ""
+    _run_storm("grid", nodes, frames, seed)  # warm caches/allocator
+    for _ in range(repeats):
+        off_seconds, off_digest = _run_storm("grid", nodes, frames, seed,
+                                             telemetry=False)
+        on_seconds, on_digest = _run_storm("grid", nodes, frames, seed,
+                                           telemetry=True)
+        pairs.append((off_seconds, on_seconds))
+    if off_digest != on_digest:
+        raise AssertionError(
+            f"telemetry changed the trace: off digest "
+            f"{off_digest[:16]}… != on {on_digest[:16]}…")
+    pairs.sort(key=lambda pair: pair[1] / pair[0])
+    median_off, median_on = pairs[len(pairs) // 2]
+    return OverheadResult(nodes=nodes, frames=frames, repeats=repeats,
+                          off_seconds=median_off, on_seconds=median_on)
 
 
 def check_regression(current: BenchResult, baseline: BenchResult,

@@ -36,7 +36,7 @@ from ..metrics.recovery import CrashRecovery
 from ..node import Component
 from ..radio import reset_frame_ids
 from ..sensing import SensorField
-from ..sim import Simulator
+from ..sim import Simulator, dump_trace
 from .runner import parallel_map
 
 CONTEXT_TYPE = "chaos"
@@ -167,12 +167,14 @@ class ChaosResult:
 
 def _chaos_run(seed: int, heartbeat_period: float, crash_period: float,
                crashes: int, base_loss_rate: float,
-               mote_count: int, sensing_count: int) -> RecoveryReport:
+               mote_count: int, sensing_count: int,
+               trace_out: Optional[str] = None,
+               telemetry: bool = True) -> RecoveryReport:
     """One chaos run: build the line deployment, arm the plan, measure."""
     # Frame ids restart per run so traces depend only on this run's
     # parameters — not on prior runs or on which sweep worker ran it.
     reset_frame_ids()
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     field = SensorField(sim, communication_radius=10.0,
                         base_loss_rate=base_loss_rate)
     sensing_ids = set(range(sensing_count))
@@ -196,6 +198,8 @@ def _chaos_run(seed: int, heartbeat_period: float, crash_period: float,
         CONTEXT_TYPE, start=start, period=crash_period, count=crashes,
         reboot_after=crash_period / 2.0))
     sim.run(until=start + crashes * crash_period)
+    if trace_out:
+        dump_trace(sim, trace_out)
     return analyze_recovery(sim, CONTEXT_TYPE,
                             stability=0.5 * heartbeat_period)
 
@@ -214,13 +218,16 @@ def chaos(heartbeat_periods: Optional[Sequence[float]] = None,
           repetitions: int = 3, crashes_per_run: int = 4,
           base_loss_rate: float = 0.1, mote_count: int = 10,
           sensing_count: int = 4, seed_base: int = 70,
-          quick: bool = False, jobs: int = 1) -> ChaosResult:
+          quick: bool = False, jobs: int = 1,
+          trace_out: Optional[str] = None) -> ChaosResult:
     """Sweep crash rate × heartbeat period; aggregate recovery stats.
 
     Each sweep cell merges the per-crash measurements of ``repetitions``
     independent runs into one :class:`RecoveryReport`.  ``jobs`` fans the
     individual runs out worker-per-seed; seeds depend only on the cell
     index and repetition, so parallel results equal serial ones.
+    ``trace_out`` writes the first run's trace as JSONL (deterministic
+    serial rerun; frame ids reset per run, so it matches the sweep's).
     """
     if heartbeat_periods is None:
         heartbeat_periods = (0.25, 0.5) if quick else (0.25, 0.5, 1.0)
@@ -239,6 +246,8 @@ def chaos(heartbeat_periods: Optional[Sequence[float]] = None,
              in enumerate(cells)
              for rep in range(repetitions)]
     reports = parallel_map(_chaos_task, tasks, jobs=jobs)
+    if trace_out:
+        _chaos_run(*tasks[0], trace_out=trace_out)
     points: List[ChaosPoint] = []
     for cell_index, (heartbeat_period, crash_period) in enumerate(cells):
         merged: List[CrashRecovery] = []

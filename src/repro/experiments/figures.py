@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..metrics import (CommunicationMetrics, SpeedSearchResult,
                        TrajectoryComparison, max_trackable_speed,
                        mean_metrics)
-from .runner import parallel_map, run_scenarios
+from ..sim import dump_trace
+from .runner import dump_scenario_trace, parallel_map, run_scenarios
 from .scenarios import (SPEED_33_KMH, SPEED_50_KMH, TankRunResult,
                         TankScenario, run_tank_scenario)
 
@@ -67,26 +68,33 @@ class _SpeedSearchTask:
     communication_radius: Optional[float] = None
 
 
+def _probe_scenario(task: _SpeedSearchTask, speed: float,
+                    seed: int) -> TankScenario:
+    """The scenario one speed-search probe runs (also the ``--trace-out``
+    representative: reran serially, it reproduces a sweep probe's trace
+    byte for byte)."""
+    if task.mode == "ratio":
+        # member_rebroadcast off: the heartbeat's reach is the
+        # leader's single broadcast (CR), so nodes sensing the event
+        # beyond the leader's radio range really are blind to the
+        # existing label — the breakdown §6.2 describes.
+        return _stress_scenario(
+            speed=speed, sensing_radius=task.sensing_radius,
+            communication_radius=task.communication_radius,
+            relinquish=True, seed=seed, member_rebroadcast=False,
+            task_cost=0.001, cpu_queue_limit=64)
+    return _stress_scenario(
+        speed=speed, sensing_radius=task.sensing_radius,
+        heartbeat_period=task.heartbeat_period,
+        relinquish=(task.mode == "relinquish"), seed=seed)
+
+
 def _speed_search_worker(task: _SpeedSearchTask) -> SpeedSearchResult:
     """Run one speed-search cell (module-level: workers must import it)."""
 
     def probe(speed: float, seed: int) -> bool:
-        if task.mode == "ratio":
-            # member_rebroadcast off: the heartbeat's reach is the
-            # leader's single broadcast (CR), so nodes sensing the event
-            # beyond the leader's radio range really are blind to the
-            # existing label — the breakdown §6.2 describes.
-            scenario = _stress_scenario(
-                speed=speed, sensing_radius=task.sensing_radius,
-                communication_radius=task.communication_radius,
-                relinquish=True, seed=seed, member_rebroadcast=False,
-                task_cost=0.001, cpu_queue_limit=64)
-        else:
-            scenario = _stress_scenario(
-                speed=speed, sensing_radius=task.sensing_radius,
-                heartbeat_period=task.heartbeat_period,
-                relinquish=(task.mode == "relinquish"), seed=seed)
-        return run_tank_scenario(scenario).coherent
+        return run_tank_scenario(_probe_scenario(task, speed,
+                                                 seed)).coherent
 
     return max_trackable_speed(probe, task.speeds,
                                repetitions=task.repetitions,
@@ -124,16 +132,19 @@ class Figure3Result:
 
 
 def figure3(seed: int = 1, speed: float = SPEED_50_KMH,
-            base_loss_rate: float = 0.05) -> Figure3Result:
+            base_loss_rate: float = 0.05,
+            trace_out: Optional[str] = None) -> Figure3Result:
     """Reproduce the Figure 3 run: one tank crossing a 10-column grid at
     y = 0.5, tracked by the Figure 2 program, reports plotted against the
-    real trajectory."""
+    real trajectory.  ``trace_out`` writes the run's trace as JSONL."""
     scenario = TankScenario(columns=11, rows=2, speed=speed, seed=seed,
                             base_loss_rate=base_loss_rate,
                             report_timer=5.0)
     run = run_tank_scenario(scenario)
     if run.comparison is None:
         raise RuntimeError("base station collected no reports")
+    if trace_out:
+        dump_trace(run.app.sim, trace_out)
     return Figure3Result(run=run)
 
 
@@ -172,14 +183,16 @@ class Figure4Result:
 
 
 def figure4(repetitions: int = 3, seed_base: int = 40,
-            quick: bool = False, jobs: int = 1) -> Figure4Result:
+            quick: bool = False, jobs: int = 1,
+            trace_out: Optional[str] = None) -> Figure4Result:
     """Handover success for two speeds × two heartbeat reach settings.
 
     Setting 1 limits heartbeat transmit range to the sensing radius (new
     sensors ahead of the target never hear the leader); setting 2 extends
     it one hop past the sensing radius, which §6.1 found sufficient for
     100% successful handovers.  ``jobs`` parallelizes the repetition runs
-    (worker-per-seed) without changing any result.
+    (worker-per-seed) without changing any result.  ``trace_out`` writes
+    the sweep's first run's trace (deterministic serial rerun) as JSONL.
     """
     if quick:
         repetitions = 1
@@ -210,6 +223,8 @@ def figure4(repetitions: int = 3, seed_base: int = 40,
                     seed=seed_base + 100 * kmh + rep))
                 cell_keys.append((kmh, propagate))
     outcomes = run_scenarios(scenarios, jobs=jobs)
+    if trace_out:
+        dump_scenario_trace(scenarios[0], trace_out)
     tallies: Dict[Tuple[int, bool], List[int]] = {}
     for key, outcome in zip(cell_keys, outcomes):
         tally = tallies.setdefault(key, [0, 0])
@@ -263,9 +278,11 @@ class Table1Result:
 
 
 def table1(repetitions: int = 3, seed_base: int = 10,
-           quick: bool = False, jobs: int = 1) -> Table1Result:
+           quick: bool = False, jobs: int = 1,
+           trace_out: Optional[str] = None) -> Table1Result:
     """Communication metrics of the correct (propagating) configuration at
-    the two emulated tank speeds, averaged over independent runs."""
+    the two emulated tank speeds, averaged over independent runs.
+    ``trace_out`` writes the first run's trace (serial rerun) as JSONL."""
     if quick:
         repetitions = 1
     grid = ((SPEED_33_KMH, 33), (SPEED_50_KMH, 50))
@@ -274,6 +291,8 @@ def table1(repetitions: int = 3, seed_base: int = 10,
                  for speed, kmh in grid
                  for rep in range(repetitions)]
     outcomes = run_scenarios(scenarios, jobs=jobs)
+    if trace_out:
+        dump_scenario_trace(scenarios[0], trace_out)
     rows = []
     for index, (speed, kmh) in enumerate(grid):
         cell = outcomes[index * repetitions:(index + 1) * repetitions]
@@ -339,7 +358,8 @@ def figure5(heartbeat_periods: Optional[Sequence[float]] = None,
             speeds: Optional[Sequence[float]] = None,
             repetitions: int = 3, seed_base: int = 50,
             include_relinquish: bool = True,
-            quick: bool = False, jobs: int = 1) -> Figure5Result:
+            quick: bool = False, jobs: int = 1,
+            trace_out: Optional[str] = None) -> Figure5Result:
     """Max trackable speed vs heartbeat period.
 
     The worst case ("takeover") disables the relinquish optimization, so
@@ -381,6 +401,12 @@ def figure5(heartbeat_periods: Optional[Sequence[float]] = None,
                     seed_base=seed_base + 7, heartbeat_period=period))
                 cells.append((period, radius, "relinquish"))
     searches = parallel_map(_speed_search_worker, tasks, jobs=jobs)
+    if trace_out:
+        # The first cell's first probe (lowest speed, base seed), reran
+        # serially — a byte-identical stand-in for the sweep's traces.
+        dump_scenario_trace(
+            _probe_scenario(tasks[0], min(tasks[0].speeds),
+                            tasks[0].seed_base), trace_out)
     points = [Figure5Point(heartbeat_period=period, sensing_radius=radius,
                            mode=mode, search=search)
               for (period, radius, mode), search in zip(cells, searches)]
@@ -432,7 +458,8 @@ def figure6(ratios: Optional[Sequence[float]] = None,
             sensing_radii: Sequence[float] = (1.5, 2.0, 3.0),
             speeds: Optional[Sequence[float]] = None,
             repetitions: int = 3, seed_base: int = 60,
-            quick: bool = False, jobs: int = 1) -> Figure6Result:
+            quick: bool = False, jobs: int = 1,
+            trace_out: Optional[str] = None) -> Figure6Result:
     """Max trackable speed vs the communication:sensing radius ratio.
 
     Uses the relinquish optimization ("to improve performance").  For a
@@ -461,6 +488,10 @@ def figure6(ratios: Optional[Sequence[float]] = None,
                 communication_radius=ratio * radius))
             cells.append((ratio, radius))
     searches = parallel_map(_speed_search_worker, tasks, jobs=jobs)
+    if trace_out:
+        dump_scenario_trace(
+            _probe_scenario(tasks[0], min(tasks[0].speeds),
+                            tasks[0].seed_base), trace_out)
     points = [Figure6Point(ratio=ratio, sensing_radius=radius,
                            search=search)
               for (ratio, radius), search in zip(cells, searches)]

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from ..metrics import CommunicationMetrics
-from ..sim import derive_seed, trace_digest
+from ..sim import derive_seed, dump_trace, trace_digest
 from .scenarios import TankRunResult, TankScenario, run_tank_scenario
 
 T = TypeVar("T")
@@ -116,3 +116,16 @@ def run_scenarios(scenarios: Sequence[TankScenario],
                   jobs: Optional[int] = 1) -> List[ScenarioOutcome]:
     """Run a batch of scenarios (worker-per-seed), outcomes in order."""
     return parallel_map(run_scenario_outcome, scenarios, jobs=jobs)
+
+
+def dump_scenario_trace(scenario: TankScenario, path: str) -> int:
+    """Write one sweep scenario's full trace to a JSONL file.
+
+    Live runs cannot cross a process boundary, so sweep experiments
+    honour ``--trace-out`` by deterministically rerunning one
+    representative scenario in this process — frame ids reset per run,
+    so the rerun's trace is byte-identical to what the sweep's worker
+    produced.  Returns the record count written.
+    """
+    run = run_tank_scenario(scenario)
+    return dump_trace(run.app.sim, path)

@@ -72,6 +72,9 @@ class TankScenario:
     #: Medium spatial index ("grid" or "bruteforce"); results are
     #: byte-identical either way — see the equivalence suite.
     medium_index: str = "grid"
+    #: Run with the metrics registry + span tracker live (True) or as
+    #: null objects (False); trace digests are identical either way.
+    telemetry: bool = True
     seed: int = 0
 
     @property
@@ -167,6 +170,7 @@ def build_app(scenario: TankScenario) -> EnviroTrackApp:
         enable_directory=scenario.enable_directory,
         enable_mtp=scenario.enable_mtp,
         medium_index=scenario.medium_index,
+        telemetry=scenario.telemetry,
     )
     if scenario.deployment_jitter > 0:
         app.field.deploy_jittered_grid(scenario.columns, scenario.rows,

@@ -158,6 +158,15 @@ class GroupManager(Component):
         self._listeners: List[GroupListener] = []
         self._rng = self.sim.rng.stream("gm.jitter")
         mote.add_reboot_hook(self._on_reboot)
+        # Telemetry (side-state only; no-ops when telemetry is off).
+        metrics = self.sim.metrics
+        self._leadership_gauge = metrics.gauge(
+            "repro_gm_active_leaderships",
+            "Labels currently led, fleet-wide.")
+        self._tenure_metric = metrics.histogram(
+            "repro_gm_leader_tenure_seconds",
+            "How long leaderships lasted, by ending reason.", ("reason",))
+        self._led_since: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -193,6 +202,14 @@ class GroupManager(Component):
         a rebooted creator can never re-mint a label id it already used.
         """
         for name, old in list(self._types.items()):
+            if old.role is Role.LEADER:
+                # The crash already ended this leadership silently; close
+                # out the telemetry the stepdown path would have written.
+                self._leadership_gauge.dec()
+                led_since = self._led_since.pop(name, None)
+                if led_since is not None:
+                    self._tenure_metric.observe(self.now - led_since,
+                                                "reboot")
             fresh = _TypeState(type_name=old.type_name,
                                sense_fn=old.sense_fn, config=old.config,
                                labels_minted=old.labels_minted)
@@ -738,6 +755,8 @@ class GroupManager(Component):
             label=f"gm.heartbeat.{state.type_name}",
             initial_delay=self._rng.uniform(0, cfg.announce_jitter))
         state.heartbeat_timer.start()
+        self._leadership_gauge.inc()
+        self._led_since[state.type_name] = self.now
         self.record("leader_start", type=state.type_name, label=label,
                     via=via, weight=weight)
         self._notify("on_leader_start", state.type_name, label,
@@ -750,6 +769,10 @@ class GroupManager(Component):
             state.heartbeat_timer.stop()
             state.heartbeat_timer = None
         state.role = Role.IDLE
+        self._leadership_gauge.dec()
+        led_since = self._led_since.pop(state.type_name, None)
+        if led_since is not None:
+            self._tenure_metric.observe(self.now - led_since, reason)
         self.record("leader_stop", type=state.type_name, label=label,
                     reason=reason)
         self._notify("on_leader_stop", state.type_name, label, reason)

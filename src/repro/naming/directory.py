@@ -81,6 +81,10 @@ class DirectoryService(Component):
         self._pending_queries: Dict[int, Callable[
             [List[DirectoryEntry]], None]] = {}
         self._query_seq = 0
+        # Telemetry counter (no-op when telemetry is disabled).
+        self._ops_metric = self.sim.metrics.counter(
+            "repro_directory_ops_total",
+            "Directory operations by kind.", ("op",))
 
     def on_start(self) -> None:
         self.router.register_delivery(REGISTER_KIND, self._on_register)
@@ -103,14 +107,17 @@ class DirectoryService(Component):
         periodically thereafter ("occasional updates ... keep the location
         information up to date").
         """
-        self.router.route_to_point(
-            self.directory_point(context_type), REGISTER_KIND, {
-                "context_type": context_type,
-                "label": label,
-                "location": [location[0], location[1]],
-                "leader": leader,
-                "time": self.now,
-            })
+        self._ops_metric.inc(1.0, "register")
+        with self.sim.spans.span(f"dir.register.{context_type}",
+                                 node=self.node_id):
+            self.router.route_to_point(
+                self.directory_point(context_type), REGISTER_KIND, {
+                    "context_type": context_type,
+                    "label": label,
+                    "location": [location[0], location[1]],
+                    "leader": leader,
+                    "time": self.now,
+                })
 
     def lookup(self, context_type: str,
                callback: Callable[[List[DirectoryEntry]], None]) -> None:
@@ -119,12 +126,19 @@ class DirectoryService(Component):
         self._query_seq += 1
         query_id = self._query_seq
         self._pending_queries[query_id] = callback
-        self.router.route_to_point(
-            self.directory_point(context_type), QUERY_KIND, {
-                "context_type": context_type,
-                "query_id": query_id,
-                "reply_to": self.node_id,
-            })
+        self._ops_metric.inc(1.0, "lookup")
+        # Named span: the query frame, its routed hops, the directory
+        # node's handler and the response all become children, so
+        # ``spans.find("dir.lookup")`` + ``TraceQuery.span()`` reads a
+        # lookup end-to-end.
+        with self.sim.spans.span(f"dir.lookup.{context_type}",
+                                 node=self.node_id):
+            self.router.route_to_point(
+                self.directory_point(context_type), QUERY_KIND, {
+                    "context_type": context_type,
+                    "query_id": query_id,
+                    "reply_to": self.node_id,
+                })
 
     # ------------------------------------------------------------------
     # Directory-object side
@@ -158,6 +172,7 @@ class DirectoryService(Component):
         entry = self._store(payload)
         if entry is None:
             return
+        self._ops_metric.inc(1.0, "stored")
         self.record("stored", label=entry.label, type=entry.context_type)
         # Replicate to the one-hop neighborhood around the hash point.
         self.broadcast(REPLICATE_KIND, dict(payload))
@@ -178,6 +193,7 @@ class DirectoryService(Component):
         reply_to = payload.get("reply_to")
         if not isinstance(context_type, str) or reply_to is None:
             return
+        self._ops_metric.inc(1.0, "query_answered")
         entries = self.entries_for(context_type)
         self.router.route_to_node(int(reply_to), RESPONSE_KIND, {
             "query_id": payload.get("query_id"),
@@ -195,6 +211,7 @@ class DirectoryService(Component):
             payload.get("query_id"), None)
         if callback is None:
             return
+        self._ops_metric.inc(1.0, "response")
         entries = []
         for raw in payload.get("entries", []):
             entry = self._store_parse(raw)

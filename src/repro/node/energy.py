@@ -114,6 +114,20 @@ class EnergyMeter:
         self.ledgers: Dict[int, EnergyLedger] = {}
         self._cpu_seen: Dict[int, float] = {}
         self._motes: Dict[int, object] = {}
+        # Telemetry (no-ops when the simulator's telemetry is disabled):
+        # tx/rx counters accrue as frames move; the by-activity gauge is
+        # refreshed whenever a readout computes the breakdown.
+        metrics = sim.metrics
+        self._tx_metric = metrics.counter(
+            "repro_energy_tx_joules_total",
+            "Radio transmit energy spent, fleet-wide.")
+        self._rx_metric = metrics.counter(
+            "repro_energy_rx_joules_total",
+            "Radio receive energy spent, fleet-wide.")
+        self._energy_gauge = metrics.gauge(
+            "repro_energy_joules",
+            "Accumulated fleet energy by activity "
+            "(refreshed on breakdown()).", ("activity",))
 
     def attach(self, mote) -> None:
         """Start metering ``mote``."""
@@ -128,8 +142,11 @@ class EnergyMeter:
         original_send = mote.mac.send
 
         def metered_send(frame, _original=original_send,
-                         _ledger=ledger, _medium=medium):
-            _ledger.on_transmit(_medium.airtime(frame))
+                         _ledger=ledger, _medium=medium,
+                         _metric=self._tx_metric):
+            airtime = _medium.airtime(frame)
+            _ledger.on_transmit(airtime)
+            _metric.inc(airtime * _ledger.model.tx_power)
             _original(frame)
 
         mote.mac.send = metered_send
@@ -137,8 +154,11 @@ class EnergyMeter:
         original_deliver = mote.port._deliver_fn
 
         def metered_deliver(frame, _original=original_deliver,
-                            _ledger=ledger, _medium=medium):
-            _ledger.on_receive(_medium.airtime(frame))
+                            _ledger=ledger, _medium=medium,
+                            _metric=self._rx_metric):
+            airtime = _medium.airtime(frame)
+            _ledger.on_receive(airtime)
+            _metric.inc(airtime * _ledger.model.rx_power)
             _original(frame)
 
         mote.port._deliver_fn = metered_deliver
@@ -178,7 +198,7 @@ class EnergyMeter:
     def breakdown(self, now: float) -> Dict[str, float]:
         """Fleet-wide energy by activity (joules)."""
         self._sync_cpu()
-        return {
+        out = {
             "tx": sum(l.tx_joules for l in self.ledgers.values()),
             "rx": sum(l.rx_joules for l in self.ledgers.values()),
             "cpu": sum(l.cpu_joules for l in self.ledgers.values()),
@@ -186,6 +206,9 @@ class EnergyMeter:
             "idle": sum(l.idle_joules(now)
                         for l in self.ledgers.values()),
         }
+        for activity, joules in out.items():
+            self._energy_gauge.set(joules, activity)
+        return out
 
     def drain(self, node_id: int, joules: float) -> None:
         """Inject an external drain on one mote's battery."""

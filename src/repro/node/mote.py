@@ -126,7 +126,17 @@ class Mote:
         if not self.alive:
             return
         self.frames_sent += 1
-        self.mac.send(frame)
+        # Causal tracing: the frame gets its own span under whatever
+        # context queued the send (a handler, a timer, a takeover); MAC
+        # backoff and the medium's delivery events inherit it through the
+        # engine's span capture, so receptions chain to this send.
+        spans = self.sim.spans
+        span_id = spans.start(f"frame.{frame.kind}", node=self.node_id)
+        frame.span_id = span_id
+        spans.note_frame(span_id, frame.frame_id)
+        with spans.activate(span_id):
+            self.mac.send(frame)
+        spans.finish(span_id)
 
     def _on_physical_receive(self, frame: Frame) -> None:
         if not self.alive:
@@ -143,8 +153,14 @@ class Mote:
         if not self.alive:
             return
         self.frames_delivered += 1
+        spans = self.sim.spans
         for handler in self._handlers.get(frame.kind, []):
-            handler(frame)
+            # Each handler runs in its own span under the frame that
+            # triggered it, so replies sent inside become grandchildren
+            # of the original send.
+            with spans.span(f"handle.{frame.kind}", node=self.node_id,
+                            parent=frame.span_id):
+                handler(frame)
 
     # ------------------------------------------------------------------
     # Timers (handlers run as CPU tasks)

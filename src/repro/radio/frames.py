@@ -65,6 +65,10 @@ class Frame:
     #: units.  ``None`` uses the medium's communication radius.  The Fig. 4
     #: experiment limits heartbeat reach to/past the sensing radius with it.
     tx_range: Optional[float] = None
+    #: Causal span this frame was sent under (telemetry only).  Assigned
+    #: at send time, carried to receivers so handler spans chain to the
+    #: sender's context; never serialized into trace records.
+    span_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size_bits <= 0:

@@ -266,6 +266,27 @@ class Medium:
         self.soft_edge_loss = soft_edge_loss
         self.index_mode = index
         self.stats = RadioStats(started_at=sim.now)
+        # Telemetry: the same accounting RadioStats keeps, republished as
+        # registry instruments for dashboards and the Prometheus export.
+        # RadioStats stays canonical (collectors and tests read it); the
+        # registry is side-state and no-ops when telemetry is disabled.
+        metrics = sim.metrics
+        self._frames_sent = metrics.counter(
+            "repro_radio_frames_sent_total",
+            "Frames put on the air, by protocol kind.", ("kind",))
+        self._bits_sent = metrics.counter(
+            "repro_radio_bits_sent_total",
+            "On-air bits transmitted, by protocol kind.", ("kind",))
+        self._receptions = metrics.counter(
+            "repro_radio_receptions_total",
+            "Physical reception attempts, by kind and outcome.",
+            ("kind", "outcome"))
+        self._frames_lost = metrics.counter(
+            "repro_radio_frames_lost_total",
+            "Frames received by no mote at all, by kind.", ("kind",))
+        self._airtime_seconds = metrics.counter(
+            "repro_radio_airtime_seconds_total",
+            "Channel airtime occupied by transmissions.")
         self._ports: Dict[int, TransceiverPort] = {}
         self._active: List[_Transmission] = []
         self._rng = sim.rng.stream("radio.loss")
@@ -480,9 +501,13 @@ class Medium:
             tx.cell = self._index.cell_of(src_pos)
             self._active_cells.setdefault(tx.cell, []).append(tx)
         self.stats.on_send(frame.kind, frame.size_bits, frame.src, now)
+        airtime = self.airtime(frame)
+        self._frames_sent.inc(1.0, frame.kind)
+        self._bits_sent.inc(float(frame.size_bits), frame.kind)
+        self._airtime_seconds.inc(airtime)
         self.sim.record("radio.tx", node=frame.src, kind=frame.kind,
                         frame_id=frame.frame_id, dst=frame.dst)
-        self.sim.schedule(self.airtime(frame) + self.propagation_delay,
+        self.sim.schedule(airtime + self.propagation_delay,
                           self._complete, tx, label="radio.delivery")
 
     # ------------------------------------------------------------------
@@ -512,17 +537,21 @@ class Medium:
             if reception.corrupted:
                 self.stats.on_reception_dropped(reception.drop_cause
                                                 or "unknown")
+                self._receptions.inc(1.0, tx.frame.kind,
+                                     reception.drop_cause or "unknown")
                 continue
             delivered += 1
             if reception.receiver.node_id == tx.frame.dst:
                 dst_received = True
             self.stats.on_receive(tx.frame.kind, self.sim.now)
+            self._receptions.inc(1.0, tx.frame.kind, "delivered")
             reception.receiver.deliver(tx.frame)
         if not tx.frame.is_broadcast:
             self.stats.on_addressed_outcome(tx.frame.kind, dst_received)
         if delivered == 0:
             # The paper's loss metric: sent but never received on any mote.
             self.stats.on_frame_lost(tx.frame.kind)
+            self._frames_lost.inc(1.0, tx.frame.kind)
             self.sim.record("radio.lost", node=tx.frame.src,
                             kind=tx.frame.kind, frame_id=tx.frame.frame_id)
 

@@ -20,8 +20,13 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, List, Optional
+import time as _time
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List, Optional
 
+from ..telemetry.profiler import EventLoopProfiler
+from ..telemetry.registry import MetricsRegistry, NullRegistry
+from ..telemetry.spans import NullSpanTracker, SpanTracker
 from .events import Event, EventSequencer, TraceRecord
 from .rng import RandomStreams
 
@@ -41,10 +46,19 @@ class Simulator:
     trace_capacity:
         Maximum number of retained trace records (oldest dropped first);
         ``None`` retains everything.
+    telemetry:
+        When True (default) the simulator owns a live
+        :class:`~repro.telemetry.registry.MetricsRegistry` (``.metrics``)
+        and :class:`~repro.telemetry.spans.SpanTracker` (``.spans``).
+        When False both are null objects that accept every call and
+        record nothing.  Telemetry is pure side-state either way: the
+        event order, RNG streams and trace — hence ``trace_digest`` —
+        are identical for both settings.
     """
 
     def __init__(self, seed: int = 0,
-                 trace_capacity: Optional[int] = None) -> None:
+                 trace_capacity: Optional[int] = None,
+                 telemetry: bool = True) -> None:
         self.seed = seed
         self._now = 0.0
         self._heap: List[Event] = []
@@ -53,8 +67,24 @@ class Simulator:
         self._stopped = False
         self.rng = RandomStreams(seed)
         self.trace_capacity = trace_capacity
-        self.trace: List[TraceRecord] = []
+        self.trace: Deque[TraceRecord] = deque(maxlen=trace_capacity)
         self._events_fired = 0
+        self.telemetry_enabled = telemetry
+        if telemetry:
+            self.metrics = MetricsRegistry()
+            self.spans = SpanTracker(clock=lambda: self._now)
+        else:
+            self.metrics = NullRegistry()
+            self.spans = NullSpanTracker()
+        # Hot-path alias: the event loop touches span context on every
+        # schedule and dispatch, so it branches on one None check and
+        # plain attribute access instead of calling through self.spans.
+        self._live_spans: Optional[SpanTracker] = \
+            self.spans if telemetry else None
+        self._trace_counter = self.metrics.counter(
+            "repro_trace_records_total",
+            "Trace records written, by category.", ("category",))
+        self._profiler: Optional[EventLoopProfiler] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -68,6 +98,28 @@ class Simulator:
     def events_fired(self) -> int:
         """Total number of events dispatched so far."""
         return self._events_fired
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self) -> Optional[EventLoopProfiler]:
+        """The attached event-loop profiler, or None."""
+        return self._profiler
+
+    def enable_profiler(self) -> EventLoopProfiler:
+        """Attach (or return the already attached) event-loop profiler.
+
+        Profiling measures host wall time only; it never touches
+        simulated time, RNG or the trace.
+        """
+        if self._profiler is None:
+            self._profiler = EventLoopProfiler()
+        return self._profiler
+
+    def disable_profiler(self) -> None:
+        """Detach the profiler (its accumulated data is discarded)."""
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -90,8 +142,10 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when!r} before now={self._now}")
+        spans = self._live_spans
         event = Event(time=when, seq=self._seq.next(), callback=callback,
-                      args=args, kwargs=kwargs, label=label)
+                      args=args, kwargs=kwargs, label=label,
+                      span=None if spans is None else spans.current)
         heapq.heappush(self._heap, event)
         return event
 
@@ -134,7 +188,7 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
-                event.fire()
+                self._dispatch(event)
                 self._events_fired += 1
                 fired += 1
             if until is not None and not self._stopped and self._now < until:
@@ -149,10 +203,40 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
-            event.fire()
+            self._dispatch(event)
             self._events_fired += 1
             return event
         return None
+
+    def _dispatch(self, event: Event) -> None:
+        """Fire one event inside its causal span, optionally profiled."""
+        spans = self._live_spans
+        profiler = self._profiler
+        if spans is None:
+            if profiler is None:
+                event.fire()
+                return
+            started = _time.perf_counter()
+            try:
+                event.fire()
+            finally:
+                profiler.note(event.label,
+                              _time.perf_counter() - started)
+            return
+        previous = spans.current
+        spans.current = event.span
+        if profiler is None:
+            try:
+                event.fire()
+            finally:
+                spans.current = previous
+            return
+        started = _time.perf_counter()
+        try:
+            event.fire()
+        finally:
+            profiler.note(event.label, _time.perf_counter() - started)
+            spans.current = previous
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -174,12 +258,15 @@ class Simulator:
     # ------------------------------------------------------------------
     def record(self, category: str, node: Optional[int] = None,
                **detail: Any) -> None:
-        """Append a structured record to the trace log."""
+        """Append a structured record to the trace log.
+
+        The trace is a bounded deque when ``trace_capacity`` is set, so
+        eviction of the oldest record is O(1) rather than the O(n) a
+        list-head delete would cost.
+        """
         self.trace.append(TraceRecord(time=self._now, category=category,
                                       node=node, detail=detail))
-        if (self.trace_capacity is not None
-                and len(self.trace) > self.trace_capacity):
-            del self.trace[0]
+        self._trace_counter.inc(1.0, category)
 
     def trace_records(self, category: Optional[str] = None,
                       node: Optional[int] = None) -> Iterable[TraceRecord]:

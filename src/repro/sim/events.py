@@ -29,6 +29,9 @@ class Event:
     kwargs: dict = field(compare=False, default_factory=dict)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Causal span current when the event was scheduled; the engine
+    #: restores it around dispatch (telemetry only, never traced).
+    span: Optional[int] = field(compare=False, default=None)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped.

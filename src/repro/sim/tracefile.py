@@ -18,20 +18,34 @@ from .events import TraceRecord
 
 
 def record_to_dict(record: TraceRecord) -> dict:
-    """Flatten a record for JSON serialization."""
+    """Serialize a record for JSONL export.
+
+    Detail lives under its own ``"detail"`` key so that a detail field
+    named ``t``, ``category`` or ``node`` can never shadow the record's
+    own envelope fields (the old flattened form silently corrupted such
+    records on roundtrip).
+    """
     return {"t": record.time, "category": record.category,
-            "node": record.node, **record.detail}
+            "node": record.node, "detail": record.detail}
 
 
 def dict_to_record(data: dict) -> TraceRecord:
-    """Rebuild a record from its JSONL dict form."""
+    """Rebuild a record from its JSONL dict form.
+
+    Accepts both the current nested form (``{"detail": {...}}``) and the
+    legacy flattened form where detail keys sat beside the envelope, so
+    traces written before the format change still load.
+    """
     data = dict(data)
     time = float(data.pop("t"))
     category = str(data.pop("category"))
     node = data.pop("node", None)
+    detail = data.pop("detail", None)
+    if not isinstance(detail, dict):
+        detail = data  # legacy flattened form
     return TraceRecord(time=time, category=category,
                        node=None if node is None else int(node),
-                       detail=data)
+                       detail=detail)
 
 
 def trace_digest(source: Union[Simulator, Iterable[TraceRecord]]) -> str:
@@ -94,37 +108,77 @@ class TraceQuery:
     """Chainable filters over a list of trace records.
 
     >>> TraceQuery(records).category("gm.takeover").between(10, 20).count()
+
+    A query built by :func:`query` from a live simulator also carries the
+    run's span tracker, enabling the causal filters :meth:`span` and
+    :meth:`causes`.  Queries over loaded trace files have no tracker —
+    the causal filters raise a helpful error there.
     """
 
     records: List[TraceRecord]
+    spans: Optional[object] = None
+
+    def _chain(self, records: List[TraceRecord]) -> "TraceQuery":
+        return TraceQuery(records, spans=self.spans)
 
     def category(self, name: str) -> "TraceQuery":
         """Keep records of exactly this category."""
-        return TraceQuery([r for r in self.records
-                           if r.category == name])
+        return self._chain([r for r in self.records
+                            if r.category == name])
 
     def category_prefix(self, prefix: str) -> "TraceQuery":
         """Keep records whose category starts with ``prefix``."""
-        return TraceQuery([r for r in self.records
-                           if r.category.startswith(prefix)])
+        return self._chain([r for r in self.records
+                            if r.category.startswith(prefix)])
 
     def node(self, node_id: int) -> "TraceQuery":
         """Keep records emitted by one node."""
-        return TraceQuery([r for r in self.records if r.node == node_id])
+        return self._chain([r for r in self.records if r.node == node_id])
 
     def between(self, start: float, end: float) -> "TraceQuery":
         """Keep records in the closed time interval."""
-        return TraceQuery([r for r in self.records
-                           if start <= r.time <= end])
+        return self._chain([r for r in self.records
+                            if start <= r.time <= end])
 
     def where(self, predicate: Callable[[TraceRecord], bool]
               ) -> "TraceQuery":
-        return TraceQuery([r for r in self.records if predicate(r)])
+        return self._chain([r for r in self.records if predicate(r)])
 
     def detail(self, key: str, value) -> "TraceQuery":
         """Keep records whose detail ``key`` equals ``value``."""
-        return TraceQuery([r for r in self.records
-                           if r.detail.get(key) == value])
+        return self._chain([r for r in self.records
+                            if r.detail.get(key) == value])
+
+    # -- causal filters (need the run's span tracker) --------------------
+    def _tracker(self, method: str):
+        if self.spans is None or not getattr(self.spans, "enabled", False):
+            raise ValueError(
+                f"TraceQuery.{method}() needs the run's span tracker; "
+                "build the query with query(sim) on a simulator created "
+                "with telemetry=True (loaded trace files carry no spans)")
+        return self.spans
+
+    def span(self, span_id: int) -> "TraceQuery":
+        """Keep records caused by the span's subtree.
+
+        A record belongs to a span when its ``frame_id`` detail names a
+        frame transmitted anywhere in the tree rooted at ``span_id`` —
+        the full downstream story of the operation (rebroadcasts,
+        handler replies, forwarded hops).
+        """
+        frames = self._tracker("span").subtree_frames(span_id)
+        return self._chain([r for r in self.records
+                            if r.detail.get("frame_id") in frames])
+
+    def causes(self, span_id: int) -> "TraceQuery":
+        """Keep records on the span's causal ancestry.
+
+        The mirror of :meth:`span`: records whose ``frame_id`` was sent
+        on the root→span path — "what chain of frames led here?".
+        """
+        frames = self._tracker("causes").ancestor_frames(span_id)
+        return self._chain([r for r in self.records
+                            if r.detail.get("frame_id") in frames])
 
     # -- terminals -------------------------------------------------------
     def count(self) -> int:
@@ -152,4 +206,7 @@ class TraceQuery:
 
 def query(sim: Simulator) -> TraceQuery:
     """Entry point: ``query(sim).category("gm.takeover").count()``."""
-    return TraceQuery(list(sim.trace))
+    spans = getattr(sim, "spans", None)
+    if spans is not None and not getattr(spans, "enabled", False):
+        spans = None
+    return TraceQuery(list(sim.trace), spans=spans)

@@ -1,0 +1,40 @@
+"""Telemetry substrate: metrics, causal spans, profiling, reports.
+
+Four pieces, all strictly outside the deterministic simulation state
+(no RNG draws, no scheduled events, no trace records — ``trace_digest``
+is byte-identical with telemetry on or off):
+
+* :mod:`~repro.telemetry.registry` — labelled Counter/Gauge/Histogram
+  instruments with Prometheus text export, owned per-``Simulator``;
+* :mod:`~repro.telemetry.spans` — causal span trees propagated across
+  frames, handlers and scheduled continuations;
+* :mod:`~repro.telemetry.profiler` — opt-in wall-time attribution per
+  event-loop handler;
+* :mod:`~repro.telemetry.report` — the ``repro report`` renderer (text
+  summary, SVG dashboard, Prometheus dump) for live runs and saved
+  JSONL traces.
+
+``report`` is imported lazily (``from repro.telemetry import report``)
+because it depends on :mod:`repro.sim`, which itself imports this
+package for the registry and span tracker.
+"""
+
+from .profiler import EventLoopProfiler, HandlerProfile, normalize_label
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry, NullRegistry)
+from .spans import NullSpanTracker, SpanRecord, SpanTracker
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLoopProfiler",
+    "Gauge",
+    "HandlerProfile",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullSpanTracker",
+    "SpanRecord",
+    "SpanTracker",
+    "normalize_label",
+]

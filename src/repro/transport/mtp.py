@@ -113,6 +113,13 @@ class MtpAgent(Component):
         self.delivered = 0
         self.forwarded = 0
         self.dropped = 0
+        # Telemetry counters (no-ops when telemetry is disabled).
+        metrics = self.sim.metrics
+        self._messages_metric = metrics.counter(
+            "repro_mtp_messages_total",
+            "MTP invocations by final per-hop outcome.", ("outcome",))
+        self._drops_metric = metrics.counter(
+            "repro_mtp_drops_total", "MTP drops by reason.", ("reason",))
 
     def on_start(self) -> None:
         self.router.register_delivery(MTP_KIND, self._on_invocation)
@@ -155,6 +162,8 @@ class MtpAgent(Component):
             return
         if self.directory is None:
             self.dropped += 1
+            self._messages_metric.inc(1.0, "dropped")
+            self._drops_metric.inc(1.0, "no_route")
             self.record("drop", reason="no_route",
                         dest=invocation.dest_label)
             return
@@ -174,6 +183,8 @@ class MtpAgent(Component):
                       if entry.label == dest_label), None)
         if match is None:
             self.dropped += len(waiting)
+            self._messages_metric.inc(float(len(waiting)), "dropped")
+            self._drops_metric.inc(float(len(waiting)), "unknown_label")
             self.record("drop", reason="unknown_label", dest=dest_label,
                         count=len(waiting))
             return
@@ -204,11 +215,14 @@ class MtpAgent(Component):
             (label_type(invocation.dest_label), invocation.dest_port))
         if handler is None:
             self.dropped += 1
+            self._messages_metric.inc(1.0, "dropped")
+            self._drops_metric.inc(1.0, "no_port")
             self.record("drop", reason="no_port",
                         dest=invocation.dest_label,
                         port=invocation.dest_port)
             return
         self.delivered += 1
+        self._messages_metric.inc(1.0, "delivered")
         self.record("deliver", dest=invocation.dest_label,
                     port=invocation.dest_port, src=invocation.src_label)
         handler(invocation.args, invocation.src_label,
@@ -219,17 +233,22 @@ class MtpAgent(Component):
         the label's current leader."""
         if invocation.chain <= 0:
             self.dropped += 1
+            self._messages_metric.inc(1.0, "dropped")
+            self._drops_metric.inc(1.0, "chain_exhausted")
             self.record("drop", reason="chain_exhausted",
                         dest=invocation.dest_label)
             return
         pointer = self.table.get(invocation.dest_label)
         if pointer is None or pointer.leader == self.node_id:
             self.dropped += 1
+            self._messages_metric.inc(1.0, "dropped")
+            self._drops_metric.inc(1.0, "no_pointer")
             self.record("drop", reason="no_pointer",
                         dest=invocation.dest_label)
             return
         invocation.chain -= 1
         self.forwarded += 1
+        self._messages_metric.inc(1.0, "forwarded")
         self.record("forward", dest=invocation.dest_label,
                     next=pointer.leader)
         self._send_to(pointer.leader, invocation)

@@ -81,3 +81,58 @@ class TestQuery:
     def test_empty_query(self):
         sim = Simulator()
         assert query(sim).category("none").first() is None
+
+
+class TestEnvelopeCollisions:
+    """Regression: detail keys named like envelope fields must survive.
+
+    The old flattened JSONL form wrote detail beside ``t``/``category``/
+    ``node``, so a detail field with one of those names silently
+    corrupted the record on roundtrip.  Detail now nests under its own
+    key.
+    """
+
+    def test_detail_keys_shadowing_envelope_roundtrip(self, tmp_path):
+        sim = Simulator()
+        sim.schedule(1.5, lambda: sim.record(
+            "app.sample", node=7, t=99.0, detail="nested"))
+        sim.run()
+        path = tmp_path / "trace.jsonl"
+        dump_trace(sim, str(path))
+        (record,) = load_trace(str(path))
+        assert record.time == pytest.approx(1.5)
+        assert record.category == "app.sample"
+        assert record.node == 7
+        assert record.detail == {"t": 99.0, "detail": "nested"}
+
+    def test_all_envelope_names_as_detail_keys_roundtrip(self):
+        from repro.sim.events import TraceRecord
+        from repro.sim.tracefile import dict_to_record, record_to_dict
+
+        record = TraceRecord(time=1.0, category="x", node=7,
+                             detail={"node": 3, "t": 0.5,
+                                     "category": "shadow"})
+        rebuilt = dict_to_record(record_to_dict(record))
+        assert rebuilt == record
+
+    def test_digest_distinguishes_envelope_from_detail(self):
+        from repro.sim import trace_digest
+
+        a = Simulator()
+        a.schedule(1.0, lambda: a.record("x", node=1, t=2.0))
+        a.run()
+        b = Simulator()
+        b.schedule(2.0, lambda: b.record("x", node=1, t=1.0))
+        b.run()
+        assert trace_digest(a) != trace_digest(b)
+
+    def test_legacy_flattened_form_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"t": 3.0, "category": "gm.claim", "node": 4, '
+            '"label": "L1", "hops": 2}\n')
+        (record,) = load_trace(str(path))
+        assert record.time == pytest.approx(3.0)
+        assert record.category == "gm.claim"
+        assert record.node == 4
+        assert record.detail == {"label": "L1", "hops": 2}

@@ -1,0 +1,94 @@
+"""Telemetry must be pure side-state: digests match with it on or off.
+
+These runs double as the acceptance check for the observability
+subsystem — the metrics registry, span tracker and (disabled or enabled)
+profiler may never draw randomness, schedule events or write trace
+records, so each scenario family is run both ways and compared by
+``trace_digest``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import TankScenario, run_tank_scenario
+from repro.sim import Simulator, trace_digest
+
+
+QUICK = TankScenario(columns=6, rows=2, seed=11)
+
+
+def scenario_digest(**overrides):
+    scenario = replace(QUICK, **overrides)
+    run = run_tank_scenario(scenario)
+    return trace_digest(run.app.sim)
+
+
+class TestDigestEquivalence:
+    def test_tracking_scenario(self):
+        assert scenario_digest(telemetry=True) == \
+            scenario_digest(telemetry=False)
+
+    def test_tracking_scenario_with_directory_and_mtp(self):
+        kwargs = dict(enable_directory=True, enable_mtp=True)
+        assert scenario_digest(telemetry=True, **kwargs) == \
+            scenario_digest(telemetry=False, **kwargs)
+
+    def test_leader_kill_scenario(self):
+        kwargs = dict(leader_kill_times=(1.0,))
+        assert scenario_digest(telemetry=True, **kwargs) == \
+            scenario_digest(telemetry=False, **kwargs)
+
+    def test_profiler_enabled_matches_too(self):
+        from repro.experiments.scenarios import build_app
+        from repro.radio import reset_frame_ids
+
+        def run(profiled):
+            reset_frame_ids()
+            app = build_app(QUICK)
+            if profiled:
+                app.sim.enable_profiler()
+            app.install()
+            app.run(until=QUICK.duration)
+            return trace_digest(app.sim)
+
+        assert run(profiled=False) == run(profiled=True)
+
+    def test_metrics_populate_only_when_enabled(self):
+        on = run_tank_scenario(replace(QUICK, telemetry=True)).app.sim
+        off = run_tank_scenario(replace(QUICK, telemetry=False)).app.sim
+        assert on.metrics.get("repro_trace_records_total").total() == \
+            len(on.trace)
+        assert len(on.spans) > 0
+        assert off.metrics.names() == []
+        assert len(off.spans) == 0
+
+
+class TestChaosEquivalence:
+    def test_chaos_run_digest(self, tmp_path):
+        from repro.experiments.chaos import _chaos_run
+        from repro.sim import load_trace
+
+        paths = {}
+        for mode in (True, False):
+            path = tmp_path / f"chaos-{mode}.jsonl"
+            _chaos_run(3, 0.25, 2.0, 1, 0.05, 8, 3,
+                       trace_out=str(path), telemetry=mode)
+            paths[mode] = path
+        assert trace_digest(load_trace(str(paths[True]))) == \
+            trace_digest(load_trace(str(paths[False])))
+
+
+class TestEngineLevelEquivalence:
+    def test_rng_streams_untouched_by_telemetry(self):
+        def draws(telemetry):
+            sim = Simulator(seed=42, telemetry=telemetry)
+            out = []
+            sim.schedule(1.0, lambda: out.append(
+                sim.rng.stream("medium").random()))
+            sim.schedule(2.0, lambda: out.append(
+                sim.rng.stream("mac").random()))
+            sim.run()
+            return out
+
+        assert draws(True) == pytest.approx(draws(False))
