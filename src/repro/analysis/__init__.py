@@ -1,7 +1,8 @@
 """Result rendering: dependency-free SVG charts of the paper's figures."""
 
 from .render import (chaos_chart, figure3_chart, figure4_chart,
-                     figure5_chart, figure6_chart)
+                     figure5_chart, figure6_chart,
+                     transport_chaos_chart)
 from .svg import BarChart, LineChart, Series
 
 __all__ = [
@@ -13,4 +14,5 @@ __all__ = [
     "figure4_chart",
     "figure5_chart",
     "figure6_chart",
+    "transport_chaos_chart",
 ]

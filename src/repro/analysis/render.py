@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from ..experiments import (ChaosResult, Figure3Result, Figure4Result,
-                           Figure5Result, Figure6Result)
+                           Figure5Result, Figure6Result,
+                           TransportChaosResult)
 from ..experiments.chaos import TAKEOVER_SLACK
 from .svg import BarChart, LineChart
 
@@ -76,6 +77,26 @@ def chaos_chart(result: ChaosResult) -> LineChart:
              for period in periods],
             dashed=True, draw_markers=False)
     return chart
+
+
+def transport_chaos_chart(result: TransportChaosResult) -> BarChart:
+    """Transport chaos: per-seed delivery ratio, raw vs reliable MTP."""
+    seeds = result.seeds()
+    groups = [f"seed {seed}" for seed in seeds]
+    series_names = ["Fire-and-forget (paper's MTP)",
+                    "Reliable (acks + retransmit)"]
+    values = []
+    for mode in ("raw", "reliable"):
+        by_seed = {o.seed: o for o in result.outcomes_for(mode)}
+        values.append([
+            100.0 * ratio
+            if (outcome := by_seed.get(seed)) is not None
+            and (ratio := outcome.delivery_ratio) is not None else 0.0
+            for seed in seeds])
+    return BarChart(title="Transport Chaos — Delivery Under Crashes "
+                          "and Loss Spikes",
+                    groups=groups, series_names=series_names,
+                    values=values, y_label="% invocations delivered")
 
 
 def figure6_chart(result: Figure6Result) -> LineChart:

@@ -6,6 +6,7 @@ Examples::
     python -m repro table1 --repetitions 3
     python -m repro figure5 --quick
     python -m repro chaos --quick --svg chaos.svg --trace-out chaos.jsonl
+    python -m repro chaos --profile transport --quick
     python -m repro all --quick --out-dir figures/ --jobs 4
     python -m repro bench --quick --profiler-overhead
     python -m repro report --quick --svg dashboard.svg
@@ -21,12 +22,15 @@ import time
 from typing import Callable, Optional
 
 from .analysis import (chaos_chart, figure3_chart, figure4_chart,
-                       figure5_chart, figure6_chart)
+                       figure5_chart, figure6_chart,
+                       transport_chaos_chart)
 from .experiments import (BenchResult, bench_medium, chaos,
                           check_regression, figure3, figure4, figure5,
-                          figure6, table1)
-from .experiments.bench import (BASELINE_FILENAME, OVERHEAD_FACTOR,
-                                bench_telemetry_overhead)
+                          figure6, table1, transport_chaos)
+from .experiments.bench import (BASELINE_FILENAME, MTP_BASELINE_FILENAME,
+                                MtpBenchResult, OVERHEAD_FACTOR,
+                                bench_mtp, bench_telemetry_overhead,
+                                check_mtp_regression)
 
 EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6",
                "chaos")
@@ -72,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "JSONL (sweeps rerun their first scenario "
                              "serially; with 'all' + --out-dir, one "
                              "<experiment>.trace.jsonl per experiment)")
+    parser.add_argument("--profile", choices=("leader", "transport"),
+                        default="leader",
+                        help="chaos: 'leader' sweeps leader-crash "
+                             "recovery latency (default); 'transport' "
+                             "pits reliable MTP against fire-and-forget "
+                             "under crashes + loss spikes")
     parser.add_argument("--prom", metavar="PATH", default=None,
                         help="report: also write the metrics registry "
                              "in Prometheus text format")
@@ -85,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bench: also measure telemetry overhead "
                              "with the profiler disabled and fail if it "
                              f"exceeds {OVERHEAD_FACTOR:.2f}x")
+    parser.add_argument("--mtp", action="store_true",
+                        help="bench: also run the reliable-vs-raw MTP "
+                             "frame-overhead bench and gate it against "
+                             "its baseline (deterministic counts)")
+    parser.add_argument("--mtp-baseline", metavar="PATH",
+                        default=MTP_BASELINE_FILENAME,
+                        help="bench --mtp: baseline JSON to compare "
+                             "against")
     return parser
 
 
@@ -125,6 +143,9 @@ def _run_figure6(args, trace_out: Optional[str]) -> tuple:
 
 
 def _run_chaos(args, trace_out: Optional[str]) -> tuple:
+    if args.profile == "transport":
+        result = transport_chaos(**_sweep_kwargs(args, trace_out))
+        return result, transport_chaos_chart(result)
     result = chaos(**_sweep_kwargs(args, trace_out))
     return result, chaos_chart(result)
 
@@ -199,6 +220,21 @@ def _run_bench(args, out: Callable[[str], None]) -> int:
                                        BenchResult.load(args.baseline))
         out(f"[baseline {args.baseline}: {message}]")
         status = 0 if ok else 1
+    if args.mtp:
+        mtp_result = bench_mtp()
+        out(mtp_result.format_table())
+        if args.update_baseline:
+            mtp_result.save(args.mtp_baseline)
+            out(f"[wrote baseline {args.mtp_baseline}]")
+        elif not os.path.exists(args.mtp_baseline):
+            out(f"[no baseline at {args.mtp_baseline}; run with "
+                f"--update-baseline to create one]")
+        else:
+            ok, message = check_mtp_regression(
+                mtp_result, MtpBenchResult.load(args.mtp_baseline))
+            out(f"[baseline {args.mtp_baseline}: {message}]")
+            if not ok:
+                status = 1
     if args.profiler_overhead:
         # Wall-clock gate on a shared machine: retry before failing so a
         # noisy-neighbour burst does not flag a phantom regression.

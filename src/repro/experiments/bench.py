@@ -265,6 +265,148 @@ def bench_telemetry_overhead(nodes: int = 100, frames: int = 600,
                           off_seconds=median_off, on_seconds=median_on)
 
 
+#: Committed baseline for the MTP reliability-overhead bench (repo root).
+MTP_BASELINE_FILENAME = "BENCH_mtp.json"
+
+#: The reliable run may cost at most this factor more frames than the
+#: committed baseline ratio says.  Frame counts are simulated —
+#: deterministic given (spec, seed) on every machine — so the tolerance
+#: absorbs intentional protocol tweaks between baseline refreshes, not
+#: measurement noise.
+MTP_OVERHEAD_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class MtpBenchResult:
+    """Reliable vs raw MTP on a clean channel: frames bought per ack.
+
+    Same seed, same workload (one leader crash, zero channel loss), two
+    transport modes.  Because every count is simulated, the result is
+    byte-stable across machines; the regression gate can therefore
+    compare ratios tightly instead of allowing wall-clock slop.
+    """
+
+    seed: int
+    sent: int
+    raw_frames: int
+    reliable_frames: int
+    raw_delivered: int
+    reliable_delivered: int
+    retransmits: int
+    acks: int
+    dead_letters: int
+    duplicates: int
+
+    @property
+    def overhead(self) -> float:
+        """Reliable-mode frames as a multiple of raw-mode frames."""
+        if self.raw_frames <= 0:
+            return float("inf")
+        return self.reliable_frames / self.raw_frames
+
+    def format_table(self) -> str:
+        return ("MTP reliability bench — clean channel, one leader "
+                "crash, same seed per mode (deterministic counts)\n"
+                f"{'seed':>6} {'sent':>5} {'raw frames':>11} "
+                f"{'rel frames':>11} {'overhead':>9} {'raw deliv':>10} "
+                f"{'rel deliv':>10} {'rexmit':>7} {'acks':>5} "
+                f"{'dead':>5} {'dup':>4}\n"
+                f"{self.seed:6d} {self.sent:5d} {self.raw_frames:11d} "
+                f"{self.reliable_frames:11d} {self.overhead:8.3f}x "
+                f"{self.raw_delivered:10d} {self.reliable_delivered:10d} "
+                f"{self.retransmits:7d} {self.acks:5d} "
+                f"{self.dead_letters:5d} {self.duplicates:4d}")
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "mtp-reliability-overhead",
+            "seed": self.seed,
+            "sent": self.sent,
+            "raw_frames": self.raw_frames,
+            "reliable_frames": self.reliable_frames,
+            "overhead": round(self.overhead, 4),
+            "raw_delivered": self.raw_delivered,
+            "reliable_delivered": self.reliable_delivered,
+            "retransmits": self.retransmits,
+            "acks": self.acks,
+            "dead_letters": self.dead_letters,
+            "duplicates": self.duplicates,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MtpBenchResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(seed=data["seed"], sent=data["sent"],
+                   raw_frames=data["raw_frames"],
+                   reliable_frames=data["reliable_frames"],
+                   raw_delivered=data["raw_delivered"],
+                   reliable_delivered=data["reliable_delivered"],
+                   retransmits=data["retransmits"], acks=data["acks"],
+                   dead_letters=data["dead_letters"],
+                   duplicates=data["duplicates"])
+
+
+def bench_mtp(seed: int = 2004) -> MtpBenchResult:
+    """Run the paired clean-channel transport runs and count frames.
+
+    The loss spike is disabled and the base loss rate is zero, so the
+    only adversity is one scripted leader crash — enough that the
+    reliable mode's machinery (retransmit + escalation) actually runs,
+    while keeping the frame counts a pure function of (spec, seed).
+    """
+    from .transport_chaos import TransportChaosSpec, _transport_run
+    overrides = dict(seed=seed, base_loss_rate=0.0, spike_extra_loss=0.0,
+                     crashes=1)
+    raw = _transport_run(TransportChaosSpec(mode="raw", **overrides))
+    reliable = _transport_run(
+        TransportChaosSpec(mode="reliable", **overrides))
+    if raw.sent != reliable.sent:
+        raise AssertionError(
+            f"modes diverged on workload size: raw sent {raw.sent} != "
+            f"reliable sent {reliable.sent}")
+    return MtpBenchResult(
+        seed=seed, sent=raw.sent,
+        raw_frames=raw.frames, reliable_frames=reliable.frames,
+        raw_delivered=raw.delivered,
+        reliable_delivered=reliable.delivered,
+        retransmits=reliable.retransmits, acks=reliable.acks,
+        dead_letters=reliable.dead_letters,
+        duplicates=reliable.duplicates)
+
+
+def check_mtp_regression(current: MtpBenchResult,
+                         baseline: MtpBenchResult,
+                         factor: float = MTP_OVERHEAD_FACTOR
+                         ) -> Tuple[bool, str]:
+    """Gate the frame overhead and the clean-channel delivery floor.
+
+    Fails when the reliable mode spends more than ``factor ×`` the
+    baseline's frame overhead, or when clean-channel reliable delivery
+    slips below the baseline's (it should stay at 100%), or when a
+    clean-channel run produces end-to-end duplicates.
+    """
+    ceiling = baseline.overhead * factor
+    message = (f"overhead {current.overhead:.3f}x vs baseline "
+               f"{baseline.overhead:.3f}x (ceiling {ceiling:.3f}x); "
+               f"delivered {current.reliable_delivered}/{current.sent}")
+    if current.overhead > ceiling:
+        return False, f"REGRESSION — {message}"
+    if current.sent and current.reliable_delivered / current.sent \
+            < baseline.reliable_delivered / max(baseline.sent, 1):
+        return False, f"DELIVERY REGRESSION — {message}"
+    if current.duplicates > baseline.duplicates:
+        return False, (f"DUPLICATE REGRESSION — {current.duplicates} "
+                       f"clean-channel duplicates (baseline "
+                       f"{baseline.duplicates}); {message}")
+    return True, f"ok — {message}"
+
+
 def check_regression(current: BenchResult, baseline: BenchResult,
                      factor: float = REGRESSION_FACTOR
                      ) -> Tuple[bool, str]:

@@ -59,13 +59,17 @@ class MemberReporter(Component):
 
     name = "chaosapp"
 
-    def __init__(self, mote, manager: GroupManager, period: float) -> None:
+    def __init__(self, mote, manager: GroupManager, period: float,
+                 context_type: str = CONTEXT_TYPE,
+                 kind: str = REPORT_KIND) -> None:
         super().__init__(mote)
         self.manager = manager
         self.period = period
+        self.context_type = context_type
+        self.kind = kind
 
     def on_start(self) -> None:
-        self.handle(REPORT_KIND, self._on_report)
+        self.handle(self.kind, self._on_report)
         timer = self.mote.periodic(
             self.period, self._tick, label="chaos.report",
             initial_delay=self.sim.rng.stream("chaos.report").uniform(
@@ -73,16 +77,18 @@ class MemberReporter(Component):
         timer.start()
 
     def _tick(self) -> None:
-        label = self.manager.label(CONTEXT_TYPE)
-        if label is None or self.manager.role(CONTEXT_TYPE) is not Role.MEMBER:
+        label = self.manager.label(self.context_type)
+        if label is None \
+                or self.manager.role(self.context_type) is not Role.MEMBER:
             return
-        self.broadcast(REPORT_KIND, {"type": CONTEXT_TYPE, "label": label,
-                                     "sender": self.node_id})
+        self.broadcast(self.kind, {"type": self.context_type,
+                                   "label": label,
+                                   "sender": self.node_id})
 
     def _on_report(self, frame) -> None:
         label = frame.payload.get("label")
         if isinstance(label, str):
-            self.manager.note_member_report(CONTEXT_TYPE, label)
+            self.manager.note_member_report(self.context_type, label)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,29 @@ RESPONSE_KIND = "dir.response"
 #: Default soft-state lifetime of a directory entry (seconds).
 DEFAULT_ENTRY_TTL = 30.0
 
+#: Default per-attempt lookup timeout (seconds): the query + response
+#: round trip over greedy routing at paper-scale deployments is well
+#: under a second; 3 s absorbs CPU backlog and MAC backoff tails.
+DEFAULT_LOOKUP_TIMEOUT = 3.0
+
+#: Default extra attempts after the first lookup times out.
+DEFAULT_LOOKUP_RETRIES = 1
+
+
+@dataclass
+class _PendingLookup:
+    """Client-side state of one outstanding lookup."""
+
+    context_type: str
+    callback: Callable[[List["DirectoryEntry"]], None]
+    attempts: int = 0
+    event: Any = None  # the armed timeout event, cancellable
+
+    def cancel_timer(self) -> None:
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None
+
 
 @dataclass
 class DirectoryEntry:
@@ -66,25 +89,44 @@ class DirectoryService(Component):
         Entry expiry without updates.
     hash_margin:
         Keep hashed coordinates this far from the field edge.
+    lookup_timeout:
+        Seconds to wait per lookup attempt before retrying or giving up;
+        None disables timeouts (a lost response then strands the
+        callback — pre-hardening behavior, kept for tests).
+    lookup_retries:
+        Extra query attempts after the first timeout; once exhausted the
+        callback fires with ``[]`` and the pending entry is collected.
     """
 
     name = "dir"
 
     def __init__(self, mote: Mote, router: GeoRouter, bounds: FieldBounds,
                  entry_ttl: float = DEFAULT_ENTRY_TTL,
-                 hash_margin: float = 1.0) -> None:
+                 hash_margin: float = 1.0,
+                 lookup_timeout: Optional[float] = DEFAULT_LOOKUP_TIMEOUT,
+                 lookup_retries: int = DEFAULT_LOOKUP_RETRIES) -> None:
         super().__init__(mote)
         self.router = router
         self.bounds = bounds.shrunk(hash_margin)
         self.entry_ttl = entry_ttl
+        if lookup_timeout is not None and lookup_timeout <= 0:
+            raise ValueError(
+                f"lookup_timeout must be positive: {lookup_timeout}")
+        if lookup_retries < 0:
+            raise ValueError(
+                f"lookup_retries must be >= 0: {lookup_retries}")
+        self.lookup_timeout = lookup_timeout
+        self.lookup_retries = lookup_retries
         self._entries: Dict[str, DirectoryEntry] = {}
-        self._pending_queries: Dict[int, Callable[
-            [List[DirectoryEntry]], None]] = {}
+        self._pending_queries: Dict[int, _PendingLookup] = {}
         self._query_seq = 0
-        # Telemetry counter (no-op when telemetry is disabled).
+        # Telemetry counters (no-ops when telemetry is disabled).
         self._ops_metric = self.sim.metrics.counter(
             "repro_directory_ops_total",
             "Directory operations by kind.", ("op",))
+        self._timeouts_metric = self.sim.metrics.counter(
+            "repro_dir_lookup_timeouts_total",
+            "Directory lookup attempts that timed out.")
 
     def on_start(self) -> None:
         self.router.register_delivery(REGISTER_KIND, self._on_register)
@@ -122,11 +164,23 @@ class DirectoryService(Component):
     def lookup(self, context_type: str,
                callback: Callable[[List[DirectoryEntry]], None]) -> None:
         """Ask "where are all the <type>s?"; the callback receives the
-        entries (possibly empty) when the response returns."""
+        entries when the response returns — or ``[]`` once the timeout
+        and retry budget are spent, so callers never leak."""
         self._query_seq += 1
         query_id = self._query_seq
-        self._pending_queries[query_id] = callback
+        pending = _PendingLookup(context_type=context_type,
+                                 callback=callback)
+        self._pending_queries[query_id] = pending
         self._ops_metric.inc(1.0, "lookup")
+        self._send_query(query_id, pending)
+
+    def _send_query(self, query_id: int, pending: _PendingLookup) -> None:
+        """Route one query attempt and arm its timeout."""
+        context_type = pending.context_type
+        if self.lookup_timeout is not None:
+            pending.event = self.sim.schedule(
+                self.lookup_timeout, self._on_lookup_timeout, query_id,
+                label=f"dir.lookup_timeout@{self.node_id}")
         # Named span: the query frame, its routed hops, the directory
         # node's handler and the response all become children, so
         # ``spans.find("dir.lookup")`` + ``TraceQuery.span()`` reads a
@@ -140,6 +194,28 @@ class DirectoryService(Component):
                     "reply_to": self.node_id,
                 })
 
+    def _on_lookup_timeout(self, query_id: int) -> None:
+        pending = self._pending_queries.get(query_id)
+        if pending is None:
+            return
+        pending.event = None
+        self._timeouts_metric.inc(1.0)
+        if not self.mote.alive:
+            # Dead client: nobody is waiting; just collect the entry.
+            del self._pending_queries[query_id]
+            return
+        if pending.attempts < self.lookup_retries:
+            pending.attempts += 1
+            self._ops_metric.inc(1.0, "lookup_retry")
+            self.record("lookup_retry", type=pending.context_type,
+                        query=query_id, attempt=pending.attempts)
+            self._send_query(query_id, pending)
+            return
+        del self._pending_queries[query_id]
+        self.record("lookup_timeout", type=pending.context_type,
+                    query=query_id)
+        pending.callback([])
+
     # ------------------------------------------------------------------
     # Directory-object side
     # ------------------------------------------------------------------
@@ -150,7 +226,15 @@ class DirectoryService(Component):
                        if entry.context_type == context_type),
                       key=lambda entry: entry.label)
 
-    def _store(self, payload: Dict[str, Any]) -> Optional[DirectoryEntry]:
+    def _store(self, payload: Dict[str, Any]
+               ) -> Tuple[str, Optional[DirectoryEntry]]:
+        """Try to store a registration payload.
+
+        Returns ``(status, entry)`` with status ``"stored"`` (accepted;
+        entry is the stored record), ``"stale"`` (older than the entry
+        already held; entry is the kept newer record) or ``"invalid"``
+        (unparseable payload).
+        """
         try:
             entry = DirectoryEntry(
                 label=payload["label"],
@@ -161,16 +245,23 @@ class DirectoryService(Component):
                 updated=float(payload.get("time", self.now)),
             )
         except (KeyError, TypeError, ValueError, IndexError):
-            return None
+            return "invalid", None
         existing = self._entries.get(entry.label)
         if existing is not None and existing.updated > entry.updated:
-            return existing
+            return "stale", existing
         self._entries[entry.label] = entry
-        return entry
+        return "stored", entry
 
     def _on_register(self, payload: Dict[str, Any], origin: int) -> None:
-        entry = self._store(payload)
-        if entry is None:
+        status, entry = self._store(payload)
+        if status != "stored":
+            if status == "stale":
+                # A rejected payload must not be replicated either: the
+                # one-hop neighbors would overwrite their newer replicas
+                # with the stale leader pointer.
+                self._ops_metric.inc(1.0, "stale_register")
+                self.record("stale_register", label=entry.label,
+                            type=entry.context_type)
             return
         self._ops_metric.inc(1.0, "stored")
         self.record("stored", label=entry.label, type=entry.context_type)
@@ -207,17 +298,18 @@ class DirectoryService(Component):
         })
 
     def _on_response(self, payload: Dict[str, Any], origin: int) -> None:
-        callback = self._pending_queries.pop(
+        pending = self._pending_queries.pop(
             payload.get("query_id"), None)
-        if callback is None:
-            return
+        if pending is None:
+            return  # already timed out (late response) or duplicate
+        pending.cancel_timer()
         self._ops_metric.inc(1.0, "response")
         entries = []
         for raw in payload.get("entries", []):
             entry = self._store_parse(raw)
             if entry is not None:
                 entries.append(entry)
-        callback(entries)
+        pending.callback(entries)
 
     @staticmethod
     def _store_parse(raw: Dict[str, Any]) -> Optional[DirectoryEntry]:

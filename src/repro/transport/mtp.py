@@ -20,6 +20,17 @@ between tracking objects works like this:
 
 Connections are identified by (source label:port, destination label:port);
 port ids map to methods of individual tracking objects.
+
+On top of the paper's fire-and-forget scheme this agent optionally layers
+reliable delivery (:mod:`repro.transport.reliability`): per-connection
+sequence numbers, ``mtp.ack`` frames from the delivering leader,
+deterministic retransmission with exponential backoff + seeded jitter,
+receiver-side dedup for at-most-once handler delivery, and — when the
+retransmit budget runs out — escalation (invalidate the stale leader
+pointer, fresh directory lookup) before the message dead-letters with a
+recorded reason.  Pass ``reliability=ReliabilityConfig(...)`` to enable;
+the receive path acks/dedups sequenced invocations regardless, so mixed
+fleets interoperate.
 """
 
 from __future__ import annotations
@@ -33,13 +44,37 @@ from ..node import Component, Mote
 
 if TYPE_CHECKING:  # avoid the naming↔transport import cycle at runtime
     from ..naming import DirectoryEntry, DirectoryService
+from .reliability import (ConnectionKey, DeadLetter, DeadLetterQueue,
+                          DedupTable, MTP_ACK_KIND, MTP_DEDUP_KIND,
+                          PendingTransmission, ReliabilityConfig,
+                          RELIABILITY_STREAM, SequenceCounters)
 from .routing import GeoRouter
-from .tables import LastKnownLeaderTable
+from .tables import LastKnownLeaderTable, NegativeCache
 
 MTP_KIND = "mtp.invoke"
 
 #: Maximum forwarding-chain length before a message is dropped.
 DEFAULT_CHAIN_LIMIT = 8
+
+#: Invocations queueable behind one in-flight directory lookup; beyond
+#: this the newest send drops with reason ``pending_overflow``.
+DEFAULT_PENDING_LIMIT = 32
+
+#: Seconds a pending-lookup queue may wait before its invocations expire
+#: (reason ``lookup_expired``).  Guards against directory responses that
+#: never arrive even with directory-side timeouts disabled.
+DEFAULT_LOOKUP_EXPIRY = 6.0
+
+#: Seconds an "unknown label" verdict is cached before the directory is
+#: asked again.
+DEFAULT_NEGATIVE_TTL = 5.0
+
+#: Pacing between invocations released from one resolved lookup queue.
+#: Releasing a deep backlog in a single instant makes the backlog's own
+#: frames collide with each other along the route (hidden terminals);
+#: a small fixed spacing keeps the burst off its own toes.
+BURST_SPACING = 0.05
+
 
 #: Handler signature: (args, source_label, source_port, source_leader).
 PortHandler = Callable[[Dict[str, Any], str, int, int], None]
@@ -56,9 +91,16 @@ class Invocation:
     dest_port: int
     args: Dict[str, Any]
     chain: int = DEFAULT_CHAIN_LIMIT
+    #: Reliable-delivery sequence number; None on fire-and-forget sends.
+    seq: Optional[int] = None
+
+    def connection(self) -> ConnectionKey:
+        """The §5.4 connection this invocation belongs to."""
+        return (self.src_label, self.src_port,
+                self.dest_label, self.dest_port)
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "src_label": self.src_label,
             "src_port": self.src_port,
             "src_leader": self.src_leader,
@@ -67,10 +109,14 @@ class Invocation:
             "args": self.args,
             "chain": self.chain,
         }
+        if self.seq is not None:
+            payload["seq"] = self.seq
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> Optional["Invocation"]:
         try:
+            seq = payload.get("seq")
             return cls(
                 src_label=payload["src_label"],
                 src_port=int(payload["src_port"]),
@@ -78,7 +124,11 @@ class Invocation:
                 dest_label=payload["dest_label"],
                 dest_port=int(payload["dest_port"]),
                 args=dict(payload.get("args", {})),
-                chain=int(payload.get("chain", DEFAULT_CHAIN_LIMIT)),
+                # Clamp: a corrupted negative budget must exhaust, not
+                # grant unlimited forwarding via comparisons done wrong.
+                chain=max(0, int(payload.get("chain",
+                                             DEFAULT_CHAIN_LIMIT))),
+                seq=None if seq is None else int(seq),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -96,23 +146,59 @@ class MtpAgent(Component):
         only table-resolved destinations work.
     table_capacity:
         Last-known-leader LRU size.
+    reliability:
+        Reliable-delivery configuration; None (default) keeps the paper's
+        fire-and-forget sends.  Receiving stays reliable-aware either way.
+    pending_limit:
+        Invocations queueable behind one in-flight directory lookup.
+    lookup_expiry:
+        Seconds before a pending-lookup queue expires its invocations;
+        None disables the expiry timer (pre-hardening behavior).
+    negative_ttl:
+        Unknown-label verdict cache lifetime; None disables negative
+        caching.
     """
 
     name = "mtp"
 
     def __init__(self, mote: Mote, router: GeoRouter, groups: GroupManager,
                  directory: Optional["DirectoryService"] = None,
-                 table_capacity: int = 16) -> None:
+                 table_capacity: int = 16,
+                 reliability: Optional[ReliabilityConfig] = None,
+                 pending_limit: int = DEFAULT_PENDING_LIMIT,
+                 lookup_expiry: Optional[float] = DEFAULT_LOOKUP_EXPIRY,
+                 negative_ttl: Optional[float] = DEFAULT_NEGATIVE_TTL) -> None:
         super().__init__(mote)
         self.router = router
         self.groups = groups
         self.directory = directory
         self.table = LastKnownLeaderTable(capacity=table_capacity)
+        self.reliability = reliability
+        self.pending_limit = pending_limit
+        self.lookup_expiry = lookup_expiry
         self._ports: Dict[Tuple[str, int], PortHandler] = {}
         self._pending: Dict[str, List[Invocation]] = {}
+        self._pending_expiry: Dict[str, Any] = {}
+        self._sequences = SequenceCounters()
+        self._outbox: Dict[Tuple[ConnectionKey, int],
+                           PendingTransmission] = {}
+        dedup_connections = 64 if reliability is None \
+            else reliability.dedup_connections
+        dedup_window = 128 if reliability is None \
+            else reliability.dedup_window
+        self._dedup = DedupTable(connections=dedup_connections,
+                                 window=dedup_window)
+        self.dead_letters = DeadLetterQueue(
+            capacity=64 if reliability is None
+            else reliability.dead_letter_capacity)
+        self._negative = None if negative_ttl is None \
+            else NegativeCache(ttl=negative_ttl)
         self.delivered = 0
         self.forwarded = 0
         self.dropped = 0
+        self.acked = 0
+        self.retransmitted = 0
+        self.dead_lettered = 0
         # Telemetry counters (no-ops when telemetry is disabled).
         metrics = self.sim.metrics
         self._messages_metric = metrics.counter(
@@ -120,13 +206,32 @@ class MtpAgent(Component):
             "MTP invocations by final per-hop outcome.", ("outcome",))
         self._drops_metric = metrics.counter(
             "repro_mtp_drops_total", "MTP drops by reason.", ("reason",))
+        self._retransmits_metric = metrics.counter(
+            "repro_mtp_retransmits_total",
+            "Reliable-MTP retransmissions.")
+        self._acks_metric = metrics.counter(
+            "repro_mtp_acks_total", "MTP ack frames by direction.",
+            ("direction",))
+
+    @property
+    def duplicates(self) -> int:
+        """Retransmitted invocations suppressed before the handler."""
+        return self._dedup.duplicates
+
+    def _jitter_rng(self):
+        return self.sim.rng.stream(RELIABILITY_STREAM)
 
     def on_start(self) -> None:
         self.router.register_delivery(MTP_KIND, self._on_invocation)
+        self.router.register_delivery(MTP_ACK_KIND, self._on_ack)
+        self.handle(MTP_DEDUP_KIND, self._on_dedup_share)
         # Forwarding pointers come for free from overheard heartbeats: a
         # past leader stays in radio range of its successor for a while and
         # keeps its pointer fresh from the successor's keep-alives.
         self.handle(HEARTBEAT_KIND, self._on_heartbeat)
+        # A reboot is a power cycle: every piece of transport RAM —
+        # pointers, pending queues, unacked sends, dedup memory — is gone.
+        self.mote.add_reboot_hook(self._on_reboot)
 
     # ------------------------------------------------------------------
     # Port registry
@@ -156,44 +261,207 @@ class MtpAgent(Component):
         self._resolve_and_send(invocation)
 
     def _resolve_and_send(self, invocation: Invocation) -> None:
-        pointer = self.table.get(invocation.dest_label)
+        dest_label = invocation.dest_label
+        if self.reliability is not None and invocation.seq is None:
+            # Reliable sends join the outbox *here*, before resolution:
+            # a failure during the lookup phase must escalate / dead-letter
+            # through the same machinery as a failure on the wire, not
+            # vanish as an anonymous drop.  The retransmit timer is armed
+            # on first transmission.
+            conn = invocation.connection()
+            invocation.seq = self._sequences.next(conn)
+            self._outbox[(conn, invocation.seq)] = PendingTransmission(
+                invocation=invocation, conn=conn, seq=invocation.seq)
+        if self._negative is not None \
+                and self._negative.fresh(dest_label, self.now):
+            self._drop(invocation, "negative_cache")
+            return
+        pointer = self.table.get(dest_label)
         if pointer is not None:
-            self._send_to(pointer.leader, invocation)
+            self._transmit(pointer.leader, invocation)
             return
         if self.directory is None:
-            self.dropped += 1
-            self._messages_metric.inc(1.0, "dropped")
-            self._drops_metric.inc(1.0, "no_route")
-            self.record("drop", reason="no_route",
-                        dest=invocation.dest_label)
+            self._drop(invocation, "no_route")
             return
+        self._enqueue_lookup(invocation)
+
+    def _enqueue_lookup(self, invocation: Invocation) -> None:
+        """Park the invocation behind a (possibly in-flight) directory
+        lookup for its destination label's type."""
         dest_label = invocation.dest_label
         queue = self._pending.setdefault(dest_label, [])
+        if len(queue) >= self.pending_limit:
+            self._drop(invocation, "pending_overflow")
+            return
         queue.append(invocation)
         if len(queue) > 1:
             return  # lookup already in flight
+        if self.lookup_expiry is not None:
+            self._pending_expiry[dest_label] = self.sim.schedule(
+                self.lookup_expiry, self._on_pending_expiry, dest_label,
+                label=f"mtp.lookup_expiry@{self.node_id}")
         self.directory.lookup(
             label_type(dest_label),
             lambda entries: self._lookup_done(dest_label, entries))
 
     def _lookup_done(self, dest_label: str,
                      entries: List["DirectoryEntry"]) -> None:
+        expiry = self._pending_expiry.pop(dest_label, None)
+        if expiry is not None:
+            expiry.cancel()
         waiting = self._pending.pop(dest_label, [])
         match = next((entry for entry in entries
                       if entry.label == dest_label), None)
         if match is None:
-            self.dropped += len(waiting)
-            self._messages_metric.inc(float(len(waiting)), "dropped")
-            self._drops_metric.inc(float(len(waiting)), "unknown_label")
-            self.record("drop", reason="unknown_label", dest=dest_label,
-                        count=len(waiting))
+            # Negative-cache only the *authoritative* miss: the directory
+            # answered with the type's labels and ours is not among them.
+            # An empty list is ambiguous — lookup timeout, or a type
+            # nobody has registered *yet* — and caching it would blackhole
+            # sends for the whole TTL on a transient race.
+            if entries and self._negative is not None and waiting:
+                self._negative.store(dest_label, self.now)
+            for invocation in waiting:
+                if not entries and invocation.seq is not None:
+                    # Ambiguous empty answer: reliable sends spend an
+                    # escalation on another lookup round instead of
+                    # dying on what may just be a timed-out query.
+                    pending = self._outbox.get((invocation.connection(),
+                                                invocation.seq))
+                    if pending is not None:
+                        self._escalate(pending)
+                        continue
+                self._drop(invocation, "unknown_label")
             return
         self.table.update(dest_label, match.leader, match.updated)
-        for invocation in waiting:
-            self._send_to(match.leader, invocation)
+        for index, invocation in enumerate(waiting):
+            if index == 0:
+                self._transmit(match.leader, invocation)
+            else:
+                self.sim.schedule(index * BURST_SPACING, self._transmit,
+                                  match.leader, invocation,
+                                  label=f"mtp.burst@{self.node_id}")
 
-    def _send_to(self, node: int, invocation: Invocation) -> None:
+    def _on_pending_expiry(self, dest_label: str) -> None:
+        """The directory never answered: expire the stranded queue.
+
+        Fire-and-forget invocations drop; reliable ones spend an
+        escalation on a fresh lookup (dead-lettering once the escalation
+        budget is gone).
+        """
+        self._pending_expiry.pop(dest_label, None)
+        waiting = self._pending.pop(dest_label, [])
+        if not waiting:
+            return
+        self.record("lookup_expired", dest=dest_label,
+                    count=len(waiting))
+        for invocation in waiting:
+            if invocation.seq is not None:
+                pending = self._outbox.get((invocation.connection(),
+                                            invocation.seq))
+                if pending is not None:
+                    self._escalate(pending)
+                    continue
+            self._drop(invocation, "lookup_expired")
+
+    def _transmit(self, node: int, invocation: Invocation) -> None:
+        """Put one invocation on the wire; reliable sends also register
+        (or re-arm) their retransmit state."""
+        if not self.mote.alive:
+            return  # paced burst release racing a crash: nothing to do
+        if self.reliability is not None:
+            conn = invocation.connection()
+            if invocation.seq is None:
+                invocation.seq = self._sequences.next(conn)
+            key = (conn, invocation.seq)
+            pending = self._outbox.get(key)
+            if pending is None:
+                pending = PendingTransmission(
+                    invocation=invocation, conn=conn, seq=invocation.seq)
+                self._outbox[key] = pending
+            self._arm_retransmit(pending)
         self.router.route_to_node(node, MTP_KIND, invocation.to_payload())
+
+    # ------------------------------------------------------------------
+    # Reliable delivery: retransmission, escalation, dead letters
+    # ------------------------------------------------------------------
+    def _arm_retransmit(self, pending: PendingTransmission) -> None:
+        pending.cancel_timer()
+        delay = self.reliability.retry_delay(pending.attempts,
+                                             self._jitter_rng())
+        pending.event = self.sim.schedule(
+            delay, self._on_retransmit_timeout, pending,
+            label=f"mtp.rto@{self.node_id}")
+
+    def _on_retransmit_timeout(self, pending: PendingTransmission) -> None:
+        pending.event = None
+        if not self.mote.alive:
+            return  # a dead radio retransmits nothing; reboot wipes state
+        if self._outbox.get((pending.conn, pending.seq)) is not pending:
+            return  # acked (or dead-lettered) while the event was queued
+        config = self.reliability
+        dest_label = pending.invocation.dest_label
+        if pending.attempts >= config.max_retries:
+            self._escalate(pending)
+            return
+        pointer = self.table.get(dest_label)
+        if pointer is None or pointer.leader == self.node_id:
+            # Nothing sane to retransmit to — skip straight to the
+            # directory (a self-pointer cannot make progress either).
+            self._escalate(pending)
+            return
+        pending.attempts += 1
+        self.retransmitted += 1
+        self._retransmits_metric.inc(1.0)
+        self.record("retransmit", dest=dest_label, seq=pending.seq,
+                    attempt=pending.attempts, next=pointer.leader)
+        self._arm_retransmit(pending)
+        self.router.route_to_node(pointer.leader, MTP_KIND,
+                                  pending.invocation.to_payload())
+
+    def _escalate(self, pending: PendingTransmission) -> None:
+        """Retry budget exhausted: invalidate the stale pointer and fall
+        back to a fresh directory lookup — dead-letter only after that."""
+        config = self.reliability
+        dest_label = pending.invocation.dest_label
+        if pending.escalations >= config.max_escalations \
+                or self.directory is None:
+            self._dead_letter(pending, "retry_exhausted")
+            return
+        pending.escalations += 1
+        pending.attempts = 0
+        self.table.forget(dest_label)
+        if self._negative is not None:
+            self._negative.forget(dest_label)
+        self.record("escalate", dest=dest_label, seq=pending.seq,
+                    round=pending.escalations)
+        self._enqueue_lookup(pending.invocation)
+
+    def _dead_letter(self, pending: PendingTransmission,
+                     reason: str) -> None:
+        self._outbox.pop((pending.conn, pending.seq), None)
+        pending.cancel_timer()
+        self.dead_lettered += 1
+        self.dropped += 1
+        self._messages_metric.inc(1.0, "dead_lettered")
+        self._drops_metric.inc(1.0, reason)
+        self.dead_letters.push(DeadLetter(
+            payload=pending.invocation.to_payload(), reason=reason,
+            time=self.now))
+        self.record("dead_letter", dest=pending.invocation.dest_label,
+                    seq=pending.seq, reason=reason)
+
+    def _drop(self, invocation: Invocation, reason: str) -> None:
+        """Final-drop bookkeeping; sequenced invocations dead-letter."""
+        if invocation.seq is not None:
+            pending = self._outbox.get((invocation.connection(),
+                                        invocation.seq))
+            if pending is not None:
+                self._dead_letter(pending, reason)
+                return
+        self.dropped += 1
+        self._messages_metric.inc(1.0, "dropped")
+        self._drops_metric.inc(1.0, reason)
+        self.record("drop", reason=reason, dest=invocation.dest_label)
 
     # ------------------------------------------------------------------
     # Receiving / forwarding
@@ -221,12 +489,81 @@ class MtpAgent(Component):
                         dest=invocation.dest_label,
                         port=invocation.dest_port)
             return
+        if invocation.seq is not None:
+            fresh = self._dedup.check_and_mark(invocation.connection(),
+                                               invocation.seq)
+            if not fresh:
+                # At-most-once: suppress the handler, re-ack (the first
+                # ack evidently never reached the sender).
+                self._messages_metric.inc(1.0, "duplicate")
+                self.record("duplicate", dest=invocation.dest_label,
+                            seq=invocation.seq, src=invocation.src_label)
+                self._send_ack(invocation)
+                return
         self.delivered += 1
         self._messages_metric.inc(1.0, "delivered")
         self.record("deliver", dest=invocation.dest_label,
                     port=invocation.dest_port, src=invocation.src_label)
         handler(invocation.args, invocation.src_label,
                 invocation.src_port, invocation.src_leader)
+        if invocation.seq is not None:
+            self._send_ack(invocation)
+            # One-hop dedup share: takeover candidates are group members,
+            # hence in radio range — pre-warming their tables lets a
+            # successor leader suppress (and re-ack) a post-crash
+            # redelivery instead of handing it to the application twice.
+            self.broadcast(MTP_DEDUP_KIND, {
+                "src_label": invocation.src_label,
+                "src_port": invocation.src_port,
+                "dest_label": invocation.dest_label,
+                "dest_port": invocation.dest_port,
+                "seq": invocation.seq,
+            })
+
+    def _send_ack(self, invocation: Invocation) -> None:
+        self._acks_metric.inc(1.0, "sent")
+        self.router.route_to_node(invocation.src_leader, MTP_ACK_KIND, {
+            "src_label": invocation.src_label,
+            "src_port": invocation.src_port,
+            "dest_label": invocation.dest_label,
+            "dest_port": invocation.dest_port,
+            "seq": invocation.seq,
+            "acker": self.node_id,
+        })
+
+    def _on_dedup_share(self, frame) -> None:
+        payload = frame.payload
+        try:
+            conn: ConnectionKey = (payload["src_label"],
+                                   int(payload["src_port"]),
+                                   payload["dest_label"],
+                                   int(payload["dest_port"]))
+            seq = int(payload["seq"])
+        except (KeyError, TypeError, ValueError):
+            return
+        self._dedup.mark(conn, seq)
+
+    def _on_ack(self, payload: Dict[str, Any], origin: int) -> None:
+        try:
+            conn: ConnectionKey = (payload["src_label"],
+                                   int(payload["src_port"]),
+                                   payload["dest_label"],
+                                   int(payload["dest_port"]))
+            seq = int(payload["seq"])
+            acker = int(payload.get("acker", -1))
+        except (KeyError, TypeError, ValueError):
+            return
+        self._acks_metric.inc(1.0, "received")
+        if acker >= 0:
+            # The acker delivered to the handler, so it leads the
+            # destination label *now* — fresher than any pointer.
+            self.table.update(conn[2], acker, self.now)
+        pending = self._outbox.pop((conn, seq), None)
+        if pending is None:
+            return  # duplicate ack (retransmission crossed the first ack)
+        pending.cancel_timer()
+        self.acked += 1
+        self.record("ack", dest=conn[2], seq=seq, acker=acker)
 
     def _forward(self, invocation: Invocation) -> None:
         """Past-leader forwarding: push the message one pointer closer to
@@ -240,6 +577,11 @@ class MtpAgent(Component):
             return
         pointer = self.table.get(invocation.dest_label)
         if pointer is None or pointer.leader == self.node_id:
+            if pointer is not None:
+                # A pointer naming *us* for a label we do not lead is a
+                # dead end that can never improve on its own; evict it so
+                # the next send re-resolves instead of re-dropping.
+                self.table.forget(invocation.dest_label)
             self.dropped += 1
             self._messages_metric.inc(1.0, "dropped")
             self._drops_metric.inc(1.0, "no_pointer")
@@ -251,7 +593,8 @@ class MtpAgent(Component):
         self._messages_metric.inc(1.0, "forwarded")
         self.record("forward", dest=invocation.dest_label,
                     next=pointer.leader)
-        self._send_to(pointer.leader, invocation)
+        self.router.route_to_node(pointer.leader, MTP_KIND,
+                                  invocation.to_payload())
 
     # ------------------------------------------------------------------
     def _on_heartbeat(self, frame) -> None:
@@ -259,3 +602,18 @@ class MtpAgent(Component):
         if beat is None:
             return
         self.table.update(beat.label, beat.leader, self.now)
+
+    def _on_reboot(self) -> None:
+        """Power cycle: wipe every piece of volatile transport state."""
+        for pending in self._outbox.values():
+            pending.cancel_timer()
+        self._outbox.clear()
+        for event in self._pending_expiry.values():
+            event.cancel()
+        self._pending_expiry.clear()
+        self._pending.clear()
+        self._sequences.clear()
+        self._dedup.clear()
+        self.table.clear()
+        if self._negative is not None:
+            self._negative.clear()

@@ -1,0 +1,270 @@
+"""Reliable MTP delivery: sequencing, acknowledgements, dedup, dead letters.
+
+The paper's transport story (§5.4) assumes invocations survive "moderately
+out-of-date" leader pointers because messages are forwarded along a chain
+of past leaders.  A *lost* frame, a crashed leader mid-chain, or a dropped
+directory response is outside that story: fire-and-forget MTP silently
+loses the invocation.  This module supplies the end-to-end retry
+discipline real deployments layer on top:
+
+* **Connections** — MTP already names conversations by
+  ``(src_label:port → dest_label:port)``; reliable delivery gives each
+  connection its own monotonically increasing sequence numbers.
+* **Acknowledgements** — the node that *delivers* an invocation to a
+  handler unicasts an ``mtp.ack`` frame back to the sender's leader.
+* **Retransmission** — unacked invocations retransmit on a deterministic
+  exponential-backoff schedule.  The jitter that de-synchronizes
+  retransmit storms is drawn from the simulation's seeded
+  ``mtp.reliability`` stream, so identical seeds replay identical retry
+  timelines (digest-stable, serial and ``--jobs N`` alike).
+* **Dedup** — receivers remember recently seen ``(connection, seq)``
+  pairs in a bounded LRU, so retransmissions reach the application
+  handler *at most once* per receiving node.
+* **Dead letters** — when the retransmit budget and the escalation
+  budget (pointer invalidation + fresh directory lookup) are both
+  exhausted, the message lands in a bounded dead-letter queue with a
+  recorded reason instead of vanishing.
+
+Caveat worth stating plainly: dedup state is per-node RAM.  A leader
+crash between a delivery and its ack can hand the retransmission to the
+*successor* leader, whose dedup table has never seen the connection —
+end-to-end that is a duplicate.  Delivering leaders therefore broadcast
+a one-hop ``mtp.dedup`` share after each fresh delivery: takeover
+candidates are group members, hence in radio range, so their tables are
+usually pre-warmed and the successor suppresses (and re-acks) the
+redelivery.  The window is narrowed, not closed — a lost share plus a
+crash still duplicates, and the chaos experiment measures how often
+that happens (duplicate count), exactly like production at-least-once
+systems do.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Frame kind of the acknowledgement leg (routed like ``mtp.invoke``).
+MTP_ACK_KIND = "mtp.ack"
+
+#: Frame kind of the one-hop dedup-sharing broadcast a delivering leader
+#: emits after each fresh sequenced delivery.  Takeover candidates live
+#: in the same sensing group — i.e. in radio range — so pre-warming their
+#: dedup tables closes most of the crash-between-delivery-and-ack
+#: duplicate window.
+MTP_DEDUP_KIND = "mtp.dedup"
+
+#: Named RNG stream every retransmit-jitter draw comes from.
+RELIABILITY_STREAM = "mtp.reliability"
+
+#: (src_label, src_port, dest_label, dest_port) — §5.4's connection id.
+ConnectionKey = Tuple[str, int, str, int]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the reliable-delivery state machine.
+
+    Parameters
+    ----------
+    ack_timeout:
+        Initial retransmit timeout (seconds) — the time the sender waits
+        for an ack before the first retransmission.
+    backoff_factor:
+        Multiplier applied to the timeout per retransmission.
+    jitter:
+        Each armed timeout is scaled by ``1 + jitter * u`` with ``u``
+        uniform in [-1, 1] from the sim's ``mtp.reliability`` stream;
+        0 disables jitter (and the stream is never drawn from).
+    max_retries:
+        Retransmissions per routing attempt before escalation.
+    max_escalations:
+        How many times retry exhaustion may invalidate the last-known
+        -leader pointer and fall back to a fresh directory lookup before
+        the message dead-letters.
+    dedup_connections / dedup_window:
+        Receiver-side dedup memory: LRU connection count, and remembered
+        sequence numbers per connection.
+    dead_letter_capacity:
+        Bounded dead-letter queue length (oldest evicted first).
+    """
+
+    ack_timeout: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    max_retries: int = 4
+    max_escalations: int = 1
+    dedup_connections: int = 64
+    dedup_window: int = 128
+    dead_letter_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.ack_timeout > 0,
+                 f"ack_timeout must be positive: {self.ack_timeout}")
+        _require(self.backoff_factor >= 1.0,
+                 f"backoff_factor must be >= 1: {self.backoff_factor}")
+        _require(0.0 <= self.jitter < 1.0,
+                 f"jitter must be in [0, 1): {self.jitter}")
+        _require(self.max_retries >= 0,
+                 f"max_retries must be >= 0: {self.max_retries}")
+        _require(self.max_escalations >= 0,
+                 f"max_escalations must be >= 0: {self.max_escalations}")
+        _require(self.dedup_connections >= 1,
+                 f"dedup_connections must be >= 1: {self.dedup_connections}")
+        _require(self.dedup_window >= 1,
+                 f"dedup_window must be >= 1: {self.dedup_window}")
+        _require(self.dead_letter_capacity >= 1,
+                 f"dead_letter_capacity must be >= 1: "
+                 f"{self.dead_letter_capacity}")
+
+    def retry_delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay before retransmission number ``attempt + 1``.
+
+        Deterministic given the stream state: the jitter draw is the only
+        randomness, and it comes from the caller's seeded stream.
+        """
+        base = self.ack_timeout * self.backoff_factor ** attempt
+        if self.jitter <= 0.0:
+            return base
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+
+
+class SequenceCounters:
+    """Per-connection outbound sequence numbers (1-based)."""
+
+    def __init__(self) -> None:
+        self._next: Dict[ConnectionKey, int] = {}
+
+    def next(self, conn: ConnectionKey) -> int:
+        value = self._next.get(conn, 0) + 1
+        self._next[conn] = value
+        return value
+
+    def clear(self) -> None:
+        self._next.clear()
+
+    def __len__(self) -> int:
+        return len(self._next)
+
+
+class DedupTable:
+    """Bounded memory of delivered ``(connection, seq)`` pairs.
+
+    Connections evict least-recently-used; within a connection the
+    remembered window is the last ``window`` distinct sequence numbers.
+    ``check_and_mark`` returns True exactly once per remembered pair, so
+    handler delivery is at-most-once while the pair stays in memory.
+    """
+
+    def __init__(self, connections: int = 64, window: int = 128) -> None:
+        _require(connections >= 1,
+                 f"connections must be >= 1: {connections}")
+        _require(window >= 1, f"window must be >= 1: {window}")
+        self.connections = connections
+        self.window = window
+        self._seen: "OrderedDict[ConnectionKey, OrderedDict[int, None]]" = \
+            OrderedDict()
+        self.duplicates = 0
+
+    def check_and_mark(self, conn: ConnectionKey, seq: int) -> bool:
+        """True (and remembered) on first sight; False on a duplicate."""
+        seqs = self._seen.get(conn)
+        if seqs is None:
+            seqs = OrderedDict()
+            self._seen[conn] = seqs
+            while len(self._seen) > self.connections:
+                self._seen.popitem(last=False)
+        else:
+            self._seen.move_to_end(conn)
+            if seq in seqs:
+                self.duplicates += 1
+                return False
+        seqs[seq] = None
+        while len(seqs) > self.window:
+            seqs.popitem(last=False)
+        return True
+
+    def mark(self, conn: ConnectionKey, seq: int) -> None:
+        """Remember a pair without counting a duplicate.
+
+        Used when dedup state arrives second-hand (a neighbor leader's
+        dedup-share broadcast) rather than from a local delivery.
+        """
+        seqs = self._seen.get(conn)
+        if seqs is None:
+            seqs = OrderedDict()
+            self._seen[conn] = seqs
+            while len(self._seen) > self.connections:
+                self._seen.popitem(last=False)
+        else:
+            self._seen.move_to_end(conn)
+            if seq in seqs:
+                return
+        seqs[seq] = None
+        while len(seqs) > self.window:
+            seqs.popitem(last=False)
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One undeliverable invocation, kept for post-mortem inspection."""
+
+    payload: Dict[str, Any]
+    reason: str
+    time: float
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of dead letters plus per-reason counts."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        _require(capacity >= 1, f"capacity must be >= 1: {capacity}")
+        self._letters: Deque[DeadLetter] = deque(maxlen=capacity)
+        self.total = 0
+        self.by_reason: Dict[str, int] = {}
+
+    def push(self, letter: DeadLetter) -> None:
+        self._letters.append(letter)
+        self.total += 1
+        self.by_reason[letter.reason] = \
+            self.by_reason.get(letter.reason, 0) + 1
+
+    def letters(self) -> List[DeadLetter]:
+        return list(self._letters)
+
+    def clear(self) -> None:
+        """Drop retained letters (counts survive: they are history)."""
+        self._letters.clear()
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+
+@dataclass
+class PendingTransmission:
+    """Sender-side state of one unacked reliable invocation."""
+
+    invocation: Any  # transport.mtp.Invocation (import cycle avoided)
+    conn: ConnectionKey
+    seq: int
+    attempts: int = 0
+    escalations: int = 0
+    #: The armed retransmit event, cancellable (None between arming).
+    event: Any = field(default=None, repr=False)
+
+    def cancel_timer(self) -> None:
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None

@@ -65,6 +65,10 @@ class LastKnownLeaderTable:
     def forget(self, label: str) -> None:
         self._entries.pop(label, None)
 
+    def clear(self) -> None:
+        """Drop every pointer (a reboot wipes transport RAM)."""
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -74,3 +78,52 @@ class LastKnownLeaderTable:
     def labels(self) -> Iterator[str]:
         """Labels from least- to most-recently used."""
         return iter(self._entries)
+
+
+class NegativeCache:
+    """Bounded TTL memory of labels the directory recently did not know.
+
+    A lookup that comes back without the requested label parks the label
+    here; until the entry expires, repeated sends to it fail locally
+    instead of storming the directory point with queries that will fail
+    again (§5.3's directory object is a small neighborhood of nodes — a
+    hot unknown label would otherwise monopolize it).
+    """
+
+    def __init__(self, ttl: float = 5.0, capacity: int = 32) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self._expiry: "OrderedDict[str, float]" = OrderedDict()
+        self.hits = 0
+
+    def store(self, label: str, now: float) -> None:
+        """Remember ``label`` as unknown until ``now + ttl``."""
+        self._expiry[label] = now + self.ttl
+        self._expiry.move_to_end(label)
+        while len(self._expiry) > self.capacity:
+            self._expiry.popitem(last=False)
+
+    def fresh(self, label: str, now: float) -> bool:
+        """True while the negative entry is unexpired (expired entries
+        are evicted on the way out)."""
+        expiry = self._expiry.get(label)
+        if expiry is None:
+            return False
+        if now >= expiry:
+            del self._expiry[label]
+            return False
+        self.hits += 1
+        return True
+
+    def forget(self, label: str) -> None:
+        self._expiry.pop(label, None)
+
+    def clear(self) -> None:
+        self._expiry.clear()
+
+    def __len__(self) -> int:
+        return len(self._expiry)

@@ -1,12 +1,17 @@
 """Unit tests for the directory service (§5.3)."""
 
+import pytest
+
 from repro.naming import DirectoryService, FieldBounds
+from repro.naming.directory import REPLICATE_KIND
+from repro.radio import distance
 from repro.sensing import SensorField
 from repro.sim import Simulator
 from repro.transport import GeoRouter
 
 
-def build(columns=8, rows=8, communication_radius=2.0, entry_ttl=30.0):
+def build(columns=8, rows=8, communication_radius=2.0, entry_ttl=30.0,
+          **service_kwargs):
     sim = Simulator(seed=9)
     field = SensorField(sim, communication_radius=communication_radius)
     field.deploy_grid(columns, rows)
@@ -16,7 +21,8 @@ def build(columns=8, rows=8, communication_radius=2.0, entry_ttl=30.0):
         router = GeoRouter(mote)
         router.start()
         service = DirectoryService(mote, router, bounds,
-                                   entry_ttl=entry_ttl, hash_margin=1.0)
+                                   entry_ttl=entry_ttl, hash_margin=1.0,
+                                   **service_kwargs)
         service.start()
         services[mote.node_id] = service
     return sim, field, services
@@ -123,10 +129,101 @@ def test_stale_registration_rejected():
              "location": [2.0, 1.0], "leader": 9, "time": 10.0}
     stale = {"label": "car#1.1", "context_type": "car",
              "location": [0.0, 0.0], "leader": 1, "time": 4.0}
-    assert service._store(fresh).leader == 9
-    kept = service._store(stale)
+    status, entry = service._store(fresh)
+    assert status == "stored" and entry.leader == 9
+    status, kept = service._store(stale)
+    assert status == "stale"
     assert kept.leader == 9  # the stored (newer) entry wins
     assert [e.leader for e in service.entries_for("car")] == [9]
+
+
+def directory_region(field, services, context_type):
+    """Node ids within radio range of the type's hashed coordinate."""
+    point = services[0].directory_point(context_type)
+    radius = field.medium.communication_radius
+    return [node for node, service in services.items()
+            if distance(field.motes[node].position, point) <= radius]
+
+
+def test_lookup_times_out_with_empty_answer_and_no_leak():
+    # Kill the whole directory neighborhood: queries route into a dead
+    # end, no response ever comes back, and only the client-side timeout
+    # stands between the caller and a stranded callback.
+    sim, field, services = build(lookup_timeout=1.0, lookup_retries=1)
+    for node in directory_region(field, services, "fire"):
+        field.fail_node(node)
+    client = services[63]
+    answers = []
+    called = []
+    client.lookup("fire", lambda entries: (answers.extend(entries),
+                                           called.append(True)))
+    assert len(client._pending_queries) == 1
+    sim.run(until=sim.now + 10.0)
+    assert called == [True]  # callback fired exactly once, with []
+    assert answers == []
+    assert client._pending_queries == {}  # GC'd, no leak
+    assert sim.metrics.get(
+        "repro_dir_lookup_timeouts_total").value() >= 2.0  # both attempts
+
+
+def test_lookup_retry_recovers_after_transient_outage():
+    sim, field, services = build(lookup_timeout=1.0, lookup_retries=3)
+    services[0].register("fire", "fire#3.1", (2.0, 2.0), leader=3)
+    sim.run(until=2.0)
+    region = directory_region(field, services, "fire")
+    for node in region:
+        field.fail_node(node)
+    answers = []
+    services[63].lookup("fire", answers.extend)
+    # The first attempt dies against the dead region; recovery happens
+    # before the retry budget runs out (recover keeps directory RAM —
+    # this is an outage, not a power cycle).
+    sim.schedule(1.5, lambda: [field.motes[n].recover() for n in region])
+    sim.run(until=sim.now + 10.0)
+    assert [e.label for e in answers] == ["fire#3.1"]
+    assert sim.metrics.get(
+        "repro_directory_ops_total").value("lookup_retry") >= 1.0
+
+
+def test_dead_client_lookup_collected_without_callback():
+    sim, field, services = build(lookup_timeout=1.0, lookup_retries=0)
+    client = services[63]
+    called = []
+    client.lookup("ghost", lambda entries: called.append(entries))
+    field.fail_node(63)
+    sim.run(until=sim.now + 5.0)
+    assert client._pending_queries == {}  # collected
+    assert called == []  # nobody home: no callback either
+
+
+def test_lookup_timeout_validation():
+    sim, field, services = build(columns=2, rows=2)
+    mote = field.motes[0]
+    router = GeoRouter(mote)
+    bounds = FieldBounds(0.0, 0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        DirectoryService(mote, router, bounds, lookup_timeout=0.0)
+    with pytest.raises(ValueError):
+        DirectoryService(mote, router, bounds, lookup_retries=-1)
+
+
+def test_stale_register_not_rebroadcast():
+    # A stale registration must be rejected *silently*: replicating it
+    # would overwrite the one-hop neighbors' newer replicas.
+    sim, field, services = build()
+    service = services[0]
+    replicated = []
+    service.broadcast = lambda kind, payload: replicated.append(kind)
+    fresh = {"label": "car#1.1", "context_type": "car",
+             "location": [2.0, 1.0], "leader": 9, "time": 10.0}
+    stale = {"label": "car#1.1", "context_type": "car",
+             "location": [0.0, 0.0], "leader": 1, "time": 4.0}
+    service._on_register(fresh, origin=9)
+    service._on_register(stale, origin=1)
+    assert replicated == [REPLICATE_KIND]  # only the fresh one went out
+    assert [e.leader for e in service.entries_for("car")] == [9]
+    assert sim.metrics.get("repro_directory_ops_total").value(
+        "stale_register") == 1.0
 
 
 def test_lookup_survives_directory_node_detach():

@@ -58,7 +58,7 @@ def test_stale_destination_forwarded_to_current_leader():
     invocation = Invocation(src_label="x#9.9", src_port=0, src_leader=7,
                             dest_label=label, dest_port=5,
                             args={"ping": 1})
-    agents[7]._send_to(old_leader, invocation)
+    agents[7]._transmit(old_leader, invocation)
     sim.run(until=sim.now + 5.0)
 
     assert received == [{"ping": 1}]
@@ -80,7 +80,7 @@ def test_chain_limit_bounds_forwarding():
     invocation = Invocation(src_label="x#9.9", src_port=0, src_leader=5,
                             dest_label=label, dest_port=5,
                             args={}, chain=3)
-    agents[5]._send_to(6, invocation)
+    agents[5]._transmit(6, invocation)
     sim.run(until=sim.now + 5.0)
     drops = [r for r in sim.trace
              if r.category == "mtp.drop"

@@ -1,0 +1,396 @@
+"""Tests for reliable MTP delivery: acks, retries, escalation, dedup."""
+
+import random
+
+import pytest
+
+from repro.groups import GroupConfig, GroupManager
+from repro.naming import DirectoryService, FieldBounds
+from repro.sensing import SensorField
+from repro.sim import Simulator
+from repro.transport import (DeadLetter, DeadLetterQueue, DedupTable,
+                             GeoRouter, Invocation, MtpAgent,
+                             ReliabilityConfig, SequenceCounters)
+
+
+# ----------------------------------------------------------------------
+# Pure-state primitives
+# ----------------------------------------------------------------------
+def test_reliability_config_rejects_bad_knobs():
+    for kwargs in ({"ack_timeout": 0.0}, {"backoff_factor": 0.5},
+                   {"jitter": 1.0}, {"jitter": -0.1},
+                   {"max_retries": -1}, {"max_escalations": -1},
+                   {"dedup_connections": 0}, {"dedup_window": 0},
+                   {"dead_letter_capacity": 0}):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(**kwargs)
+
+
+def test_retry_delay_backoff_and_determinism():
+    config = ReliabilityConfig(ack_timeout=0.5, backoff_factor=2.0,
+                               jitter=0.1)
+    no_jitter = ReliabilityConfig(ack_timeout=0.5, backoff_factor=2.0,
+                                  jitter=0.0)
+    rng = random.Random(7)
+    assert no_jitter.retry_delay(0, rng) == 0.5
+    assert no_jitter.retry_delay(2, rng) == 2.0
+    # Jittered delays stay within the band and replay exactly from an
+    # identically seeded stream.
+    first = [config.retry_delay(i, random.Random(7)) for i in range(4)]
+    second = [config.retry_delay(i, random.Random(7)) for i in range(4)]
+    assert first == second
+    for attempt, delay in enumerate(first):
+        base = 0.5 * 2.0 ** attempt
+        assert 0.9 * base <= delay <= 1.1 * base
+
+
+def test_sequence_counters_are_per_connection():
+    counters = SequenceCounters()
+    a = ("x#1.1", 0, "y#1.1", 5)
+    b = ("x#1.1", 0, "z#1.1", 5)
+    assert [counters.next(a), counters.next(a), counters.next(b)] \
+        == [1, 2, 1]
+    counters.clear()
+    assert counters.next(a) == 1
+
+
+def test_dedup_table_at_most_once_and_bounds():
+    table = DedupTable(connections=2, window=3)
+    conn = ("a#1.1", 0, "b#1.1", 1)
+    assert table.check_and_mark(conn, 1)
+    assert not table.check_and_mark(conn, 1)
+    assert table.duplicates == 1
+    # The window forgets the oldest seq once it overflows.
+    for seq in (2, 3, 4):
+        assert table.check_and_mark(conn, seq)
+    assert table.check_and_mark(conn, 1)  # aged out of the window
+    # Connection LRU: a third connection evicts the least recent.
+    other = ("c#1.1", 0, "b#1.1", 1)
+    third = ("d#1.1", 0, "b#1.1", 1)
+    table.check_and_mark(other, 1)
+    table.check_and_mark(third, 1)
+    assert len(table) == 2
+
+
+def test_dedup_mark_prewarms_without_counting():
+    table = DedupTable()
+    conn = ("a#1.1", 0, "b#1.1", 1)
+    table.mark(conn, 5)
+    table.mark(conn, 5)  # idempotent, not a duplicate
+    assert table.duplicates == 0
+    # The pre-warmed pair suppresses the later direct delivery.
+    assert not table.check_and_mark(conn, 5)
+    assert table.duplicates == 1
+
+
+def test_dead_letter_queue_bounded_with_reason_counts():
+    queue = DeadLetterQueue(capacity=2)
+    for i in range(3):
+        queue.push(DeadLetter(payload={"n": i}, reason="retry_exhausted",
+                              time=float(i)))
+    queue.push(DeadLetter(payload={}, reason="unknown_label", time=9.0))
+    assert queue.total == 4
+    assert len(queue) == 2  # oldest evicted
+    assert queue.by_reason == {"retry_exhausted": 3, "unknown_label": 1}
+    queue.clear()
+    assert len(queue) == 0 and queue.total == 4
+
+
+# ----------------------------------------------------------------------
+# Integration on a small grid
+# ----------------------------------------------------------------------
+class Net:
+    """Grid fixture where every mote gets the full transport stack."""
+
+    def __init__(self, columns=8, rows=4, communication_radius=2.5,
+                 seed=4, base_loss_rate=0.0, reliability=None,
+                 lookup_timeout=None, **agent_kwargs):
+        self.sim = Simulator(seed=seed)
+        self.field = SensorField(
+            self.sim, communication_radius=communication_radius,
+            base_loss_rate=base_loss_rate)
+        self.field.deploy_grid(columns, rows)
+        self.sensing = {}  # type name -> set of node ids
+        bounds = FieldBounds(0.0, 0.0, float(columns - 1),
+                             float(rows - 1))
+        self.groups = {}
+        self.mtp = {}
+        for mote in self.field.mote_list():
+            router = GeoRouter(mote)
+            router.start()
+            directory = DirectoryService(mote, router, bounds,
+                                         hash_margin=1.0,
+                                         lookup_timeout=lookup_timeout)
+            directory.start()
+            manager = GroupManager(mote)
+            for type_name in ("alpha", "beta"):
+                manager.track(
+                    type_name,
+                    lambda m, t=type_name: m.node_id in
+                    self.sensing.get(t, set()),
+                    GroupConfig(heartbeat_period=0.5))
+            manager.start()
+            agent = MtpAgent(mote, router, manager, directory=directory,
+                             reliability=reliability, **agent_kwargs)
+            agent.start()
+            self.groups[mote.node_id] = manager
+            self.mtp[mote.node_id] = agent
+
+    def run(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+    def leader_of(self, type_name):
+        for node, manager in self.groups.items():
+            if manager.is_leading(type_name):
+                return node
+        return None
+
+    def register_label(self, type_name):
+        leader = self.leader_of(type_name)
+        manager = self.groups[leader]
+        label = manager.label(type_name)
+        mote = self.field.motes[leader]
+        self.mtp[leader].directory.register(
+            type_name, label, mote.position, leader)
+        return leader, label
+
+
+RELIABLE = ReliabilityConfig(ack_timeout=0.5, jitter=0.0, max_retries=3,
+                             max_escalations=2)
+
+
+def build_pair(**net_kwargs):
+    """Elect alpha at node 0 and beta at the far corner; wire a handler."""
+    net = Net(**net_kwargs)
+    net.sensing = {"alpha": {0}, "beta": {31}}
+    net.run(3.0)
+    alpha_leader, alpha_label = net.register_label("alpha")
+    beta_leader, beta_label = net.register_label("beta")
+    net.run(2.0)
+    received = []
+    net.mtp[beta_leader].register_port(
+        "beta", 5, lambda args, *meta: received.append(args))
+    return net, alpha_leader, alpha_label, beta_leader, beta_label, \
+        received
+
+
+def test_reliable_invocation_acked_once():
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=RELIABLE)
+    sender = net.mtp[alpha_leader]
+    sender.invoke(alpha_label, beta_label, 5, {"ping": 1})
+    net.run(5.0)
+    assert received == [{"ping": 1}]
+    assert sender.acked == 1
+    assert sender.retransmitted == 0
+    assert not sender._outbox  # acked sends leave no state behind
+    metrics = net.sim.metrics.get("repro_mtp_acks_total")
+    assert metrics.value("sent") >= 1.0
+    assert metrics.value("received") >= 1.0
+
+
+def test_lost_frames_are_retransmitted_to_delivery():
+    # A lossy channel, pointer pre-seeded so the test isolates the data
+    # path: the reliable sender retransmits every lost frame until the
+    # invocation lands and its ack returns.
+    config = ReliabilityConfig(ack_timeout=0.5, jitter=0.0,
+                               max_retries=6, max_escalations=2)
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=config, base_loss_rate=0.1, seed=7,
+                   lookup_timeout=1.0)
+    sender = net.mtp[alpha_leader]
+    sender.table.update(beta_label, beta_leader, net.sim.now)
+    for n in range(5):
+        sender.invoke(alpha_label, beta_label, 5, {"n": n})
+    net.run(30.0)
+    assert sorted(args["n"] for args in received) == [0, 1, 2, 3, 4]
+    assert sender.acked == 5
+    assert sender.retransmitted > 0
+    assert net.sim.metrics.get(
+        "repro_mtp_retransmits_total").value() == sender.retransmitted
+
+
+def test_duplicate_deliveries_suppressed_and_reacked():
+    # Force a retransmission of an already delivered invocation by
+    # transmitting the same sequenced invocation twice by hand.
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=RELIABLE)
+    sender = net.mtp[alpha_leader]
+    invocation = Invocation(
+        src_label=alpha_label, src_port=0, src_leader=alpha_leader,
+        dest_label=beta_label, dest_port=5, args={"ping": 1})
+    sender._transmit(beta_leader, invocation)
+    net.run(3.0)
+    replay = Invocation(
+        src_label=alpha_label, src_port=0, src_leader=alpha_leader,
+        dest_label=beta_label, dest_port=5, args={"ping": 1},
+        seq=invocation.seq)
+    sender._transmit(beta_leader, replay)
+    net.run(3.0)
+    assert received == [{"ping": 1}]  # handler ran exactly once
+    assert net.mtp[beta_leader].duplicates == 1
+
+
+def test_delivery_prewarms_neighbor_dedup_tables():
+    # After a fresh sequenced delivery the leader broadcasts a one-hop
+    # dedup share; radio neighbors (takeover candidates) must then
+    # suppress a redelivery of the same (connection, seq).
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=RELIABLE)
+    sender = net.mtp[alpha_leader]
+    sender.invoke(alpha_label, beta_label, 5, {"ping": 1})
+    net.run(5.0)
+    assert received == [{"ping": 1}]
+    conn = (alpha_label, 0, beta_label, 5)
+    neighbor = net.mtp[beta_leader - 1]  # grid neighbor, in radio range
+    assert not neighbor._dedup.check_and_mark(conn, 1)
+
+
+def test_retry_exhaustion_escalates_then_dead_letters():
+    # Point the sender at a label whose "leader" never answers (dead
+    # mote), with no directory fallback able to rescue it.
+    net = Net(reliability=RELIABLE)
+    net.sensing = {"alpha": {0}}
+    net.run(3.0)
+    alpha_leader, alpha_label = net.register_label("alpha")
+    net.run(2.0)
+    sender = net.mtp[alpha_leader]
+    sender.table.update("beta#9.9", 31, net.sim.now)
+    net.field.fail_node(31)
+    sender.invoke(alpha_label, "beta#9.9", 5, {"ping": 1})
+    net.run(60.0)
+    assert sender.dead_lettered == 1
+    assert not sender._outbox
+    letters = sender.dead_letters.letters()
+    assert [letter.reason for letter in letters] == ["retry_exhausted"]
+    assert letters[0].payload["dest_label"] == "beta#9.9"
+    # Escalation ran: the stale pointer was evicted along the way.
+    assert sender.table.peek("beta#9.9") is None
+
+
+def test_escalation_recovers_via_fresh_lookup():
+    # The sender holds a stale pointer at a dead node, but the directory
+    # knows the real leader: escalation must re-resolve and deliver.
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=RELIABLE)
+    sender = net.mtp[alpha_leader]
+    stale = next(node for node in (14, 15, 21)
+                 if node not in (alpha_leader, beta_leader))
+    sender.table.update(beta_label, stale, net.sim.now)
+    net.field.fail_node(stale)
+    sender.invoke(alpha_label, beta_label, 5, {"ping": 1})
+    net.run(30.0)
+    assert received == [{"ping": 1}]
+    assert sender.dead_lettered == 0
+    assert sender.acked == 1
+
+
+def test_raw_mode_keeps_fire_and_forget_semantics():
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair()
+    sender = net.mtp[alpha_leader]
+    sender.invoke(alpha_label, beta_label, 5, {"ping": 1})
+    net.run(5.0)
+    assert received == [{"ping": 1}]
+    assert sender.acked == 0  # unsequenced sends are never acked
+    assert not sender._outbox
+
+
+def test_negative_cache_only_on_authoritative_miss():
+    from repro.naming import DirectoryEntry
+    net = Net()
+    agent = net.mtp[0]
+
+    def queue(dest):
+        invocation = Invocation(src_label="a#0.1", src_port=0,
+                                src_leader=0, dest_label=dest,
+                                dest_port=1, args={})
+        agent._pending[dest] = [invocation]
+
+    # An empty answer is ambiguous (timeout? nothing registered yet?):
+    # it must NOT blackhole the label for the negative TTL.
+    queue("ghost#1.1")
+    agent._lookup_done("ghost#1.1", [])
+    assert not agent._negative.fresh("ghost#1.1", agent.now)
+    # A non-empty answer without our label is authoritative: cache it.
+    other = DirectoryEntry(label="ghost#2.2", context_type="ghost",
+                           location=(0.0, 0.0), leader=3, updated=0.0)
+    queue("ghost#1.1")
+    agent._lookup_done("ghost#1.1", [other])
+    assert agent._negative.fresh("ghost#1.1", agent.now)
+    # While fresh, repeat sends fail locally instead of re-querying.
+    before = agent.dropped
+    agent.invoke("a#0.1", "ghost#1.1", 1, {})
+    assert agent.dropped == before + 1
+    assert agent._pending.get("ghost#1.1") is None
+
+
+# ----------------------------------------------------------------------
+# Regressions: pending-lookup hygiene, pointers, chain clamp
+# ----------------------------------------------------------------------
+def test_pending_lookup_queue_does_not_leak_without_directory_answer():
+    # Directory-side timeouts disabled: only the agent's own expiry
+    # timer stands between a lost response and a leaked queue.
+    net = Net(lookup_timeout=None, lookup_expiry=2.0)
+    net.sensing = {"alpha": {0}}
+    net.run(3.0)
+    alpha_leader, alpha_label = net.register_label("alpha")
+    net.run(2.0)
+    sender = net.mtp[alpha_leader]
+    sender.directory.lookup = lambda *args, **kwargs: None  # black hole
+    sender.invoke(alpha_label, "ghost#1.1", 5, {})
+    assert "ghost#1.1" in sender._pending
+    net.run(10.0)
+    assert sender._pending == {}
+    assert sender._pending_expiry == {}
+    assert sender.dropped == 1
+
+
+def test_pending_overflow_drops_newest():
+    net = Net(lookup_timeout=None, pending_limit=2)
+    net.sensing = {"alpha": {0}}
+    net.run(3.0)
+    alpha_leader, alpha_label = net.register_label("alpha")
+    sender = net.mtp[alpha_leader]
+    sender.directory.lookup = lambda *args, **kwargs: None
+    for n in range(4):
+        sender.invoke(alpha_label, "ghost#1.1", 5, {"n": n})
+    assert len(sender._pending["ghost#1.1"]) == 2
+    assert sender.dropped == 2
+
+
+def test_forward_evicts_useless_self_pointer():
+    net = Net()
+    agent = net.mtp[5]
+    agent.table.update("ghost#1.1", 5, net.sim.now)  # points at itself
+    invocation = Invocation(src_label="x#1.1", src_port=0, src_leader=0,
+                            dest_label="ghost#1.1", dest_port=1, args={})
+    agent._forward(invocation)
+    assert agent.dropped == 1
+    assert agent.table.peek("ghost#1.1") is None  # evicted, not kept
+
+
+def test_negative_chain_budget_clamped_on_parse():
+    invocation = Invocation.from_payload({
+        "src_label": "x#1.1", "src_port": 0, "src_leader": 0,
+        "dest_label": "y#1.1", "dest_port": 1, "args": {}, "chain": -7})
+    assert invocation is not None
+    assert invocation.chain == 0  # exhausted, not unlimited
+
+
+def test_reboot_wipes_reliable_transport_state():
+    net, alpha_leader, alpha_label, beta_leader, beta_label, received = \
+        build_pair(reliability=RELIABLE)
+    sender = net.mtp[alpha_leader]
+    net.field.fail_node(beta_leader)
+    sender.invoke(alpha_label, beta_label, 5, {"ping": 1})
+    net.run(1.0)
+    assert sender._outbox
+    net.field.fail_node(alpha_leader)
+    net.field.motes[alpha_leader].reboot()
+    assert not sender._outbox
+    assert not sender._pending
+    assert len(sender.table) == 0
+    before = sender.retransmitted
+    net.run(10.0)  # any armed retransmit timer must have gone quiet
+    assert sender.retransmitted == before

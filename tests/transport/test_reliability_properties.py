@@ -1,0 +1,75 @@
+"""Property-based tests for the reliable-delivery primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport import DedupTable, SequenceCounters
+
+connections = st.tuples(
+    st.sampled_from(["a#1.1", "b#2.1", "c#3.1"]),
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(["x#7.1", "y#8.1"]),
+    st.integers(min_value=0, max_value=3),
+)
+
+#: An arrival schedule: each (connection, seq) may appear many times, in
+#: any interleaving — the shape of retransmission storms.
+arrivals = st.lists(
+    st.tuples(connections, st.integers(min_value=1, max_value=30)),
+    min_size=1, max_size=200,
+)
+
+
+@given(arrivals)
+@settings(max_examples=150)
+def test_at_most_once_per_pair_while_remembered(schedule):
+    """However arrivals interleave, a pair passes check_and_mark at most
+    once while it stays within the dedup windows (sized here to hold the
+    whole schedule, so "remembered" means "always")."""
+    table = DedupTable(connections=64, window=64)
+    passed = set()
+    for conn, seq in schedule:
+        fresh = table.check_and_mark(conn, seq)
+        if fresh:
+            assert (conn, seq) not in passed, \
+                f"{(conn, seq)} delivered twice"
+            passed.add((conn, seq))
+    # Every distinct pair got through exactly once in total.
+    assert passed == set(schedule)
+    assert table.duplicates == len(schedule) - len(passed)
+
+
+@given(arrivals)
+@settings(max_examples=100)
+def test_mark_then_arrival_never_delivers(schedule):
+    """Pre-warming via mark() (the dedup-share path) must suppress every
+    later direct arrival of the same pair."""
+    table = DedupTable(connections=64, window=64)
+    for conn, seq in schedule:
+        table.mark(conn, seq)
+    for conn, seq in schedule:
+        assert not table.check_and_mark(conn, seq)
+
+
+@given(arrivals, st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=100)
+def test_dedup_bounds_hold_under_any_schedule(schedule, connections_cap,
+                                              window):
+    table = DedupTable(connections=connections_cap, window=window)
+    for conn, seq in schedule:
+        table.check_and_mark(conn, seq)
+        assert len(table) <= connections_cap
+        assert all(len(seqs) <= window
+                   for seqs in table._seen.values())
+
+
+@given(st.lists(connections, min_size=1, max_size=100))
+@settings(max_examples=100)
+def test_sequence_numbers_gapless_per_connection(sends):
+    counters = SequenceCounters()
+    seen = {}
+    for conn in sends:
+        seq = counters.next(conn)
+        assert seq == seen.get(conn, 0) + 1  # dense, strictly increasing
+        seen[conn] = seq
