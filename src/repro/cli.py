@@ -27,9 +27,13 @@ from .analysis import (chaos_chart, figure3_chart, figure4_chart,
 from .experiments import (BenchResult, bench_medium, chaos,
                           check_regression, figure3, figure4, figure5,
                           figure6, table1, transport_chaos)
-from .experiments.bench import (BASELINE_FILENAME, MTP_BASELINE_FILENAME,
+from .experiments.bench import (BASELINE_FILENAME,
+                                ENGINE_BASELINE_FILENAME,
+                                MTP_BASELINE_FILENAME, EngineBenchResult,
                                 MtpBenchResult, OVERHEAD_FACTOR,
-                                bench_mtp, bench_telemetry_overhead,
+                                bench_engine, bench_mtp,
+                                bench_telemetry_overhead,
+                                check_engine_regression,
                                 check_mtp_regression)
 
 EXPERIMENTS = ("figure3", "figure4", "table1", "figure5", "figure6",
@@ -102,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mtp-baseline", metavar="PATH",
                         default=MTP_BASELINE_FILENAME,
                         help="bench --mtp: baseline JSON to compare "
+                             "against")
+    parser.add_argument("--engine", action="store_true",
+                        help="bench: also run the event-engine "
+                             "timer-churn bench (lazy vs heap scheduler, "
+                             "digests verified equal) and gate it "
+                             "against its baseline")
+    parser.add_argument("--engine-baseline", metavar="PATH",
+                        default=ENGINE_BASELINE_FILENAME,
+                        help="bench --engine: baseline JSON to compare "
                              "against")
     return parser
 
@@ -233,6 +246,22 @@ def _run_bench(args, out: Callable[[str], None]) -> int:
             ok, message = check_mtp_regression(
                 mtp_result, MtpBenchResult.load(args.mtp_baseline))
             out(f"[baseline {args.mtp_baseline}: {message}]")
+            if not ok:
+                status = 1
+    if args.engine:
+        engine_result = bench_engine(quick=args.quick)
+        out(engine_result.format_table())
+        if args.update_baseline:
+            engine_result.save(args.engine_baseline)
+            out(f"[wrote baseline {args.engine_baseline}]")
+        elif not os.path.exists(args.engine_baseline):
+            out(f"[no baseline at {args.engine_baseline}; run with "
+                f"--update-baseline to create one]")
+        else:
+            ok, message = check_engine_regression(
+                engine_result,
+                EngineBenchResult.load(args.engine_baseline))
+            out(f"[baseline {args.engine_baseline}: {message}]")
             if not ok:
                 status = 1
     if args.profiler_overhead:

@@ -68,6 +68,10 @@ class EnviroTrackApp:
         Passed to the :class:`Simulator`; False turns the metrics
         registry and span tracker into null objects.  Either way the
         run's trace (and so its digest) is identical.
+    scheduler:
+        Passed to the :class:`Simulator`; ``"lazy"`` (default) or
+        ``"heap"`` — traces are byte-identical across both (see the
+        scheduler equivalence suite).
     """
 
     def __init__(self, seed: int = 0, communication_radius: float = 6.0,
@@ -78,8 +82,10 @@ class EnviroTrackApp:
                  enable_directory: bool = True, enable_mtp: bool = True,
                  registry: Optional[AggregationRegistry] = None,
                  medium_index: str = "grid",
-                 telemetry: bool = True) -> None:
-        self.sim = Simulator(seed=seed, telemetry=telemetry)
+                 telemetry: bool = True,
+                 scheduler: str = "lazy") -> None:
+        self.sim = Simulator(seed=seed, telemetry=telemetry,
+                             scheduler=scheduler)
         self.field = SensorField(
             self.sim, communication_radius=communication_radius,
             base_loss_rate=base_loss_rate, bitrate=bitrate, mac=mac,

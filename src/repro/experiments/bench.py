@@ -27,7 +27,8 @@ from typing import List, Optional, Tuple
 
 from ..radio import BROADCAST, Frame, Medium, TransceiverPort, \
     reset_frame_ids
-from ..sim import Simulator, dump_trace, trace_digest
+from ..sim import (PeriodicTimer, Simulator, WatchdogTimer, dump_trace,
+                   trace_digest)
 
 #: Node counts for the full and the ``--quick`` smoke sweep.
 FULL_SIZES = (100, 250, 500)
@@ -404,6 +405,253 @@ def check_mtp_regression(current: MtpBenchResult,
         return False, (f"DUPLICATE REGRESSION — {current.duplicates} "
                        f"clean-channel duplicates (baseline "
                        f"{baseline.duplicates}); {message}")
+    return True, f"ok — {message}"
+
+
+#: Committed baseline for the engine timer-churn bench (repo root).
+ENGINE_BASELINE_FILENAME = "BENCH_engine.json"
+
+#: A run regresses when its lazy-vs-heap speedup falls below
+#: baseline/ENGINE_REGRESSION_FACTOR.
+ENGINE_REGRESSION_FACTOR = 2.0
+
+#: Engine-churn workload shape: EnviroTrack group management keeps a few
+#: watchdogs per node (receive timer, wait timer, report schedule…) and
+#: kicks them on every heartbeat, so the churn bench arms this many
+#: watchdogs per node and kicks them all each "heartbeat".
+WATCHDOGS_PER_NODE = 4
+#: Watchdog silence timeout (s); kicks land far inside it, so in heap
+#: mode nearly every scheduled expiry becomes cancelled garbage.
+WATCHDOG_TIMEOUT = 1.0
+#: Nominal kick period (s); per-node jitter of ±20% is applied so kick
+#: events interleave across nodes instead of ticking in lockstep.
+KICK_PERIOD = 0.05
+#: Fraction of nodes that go silent halfway through, letting their
+#: watchdogs actually expire (expiries are the trace content the digest
+#: check compares across schedulers).
+SILENT_FRACTION = 0.2
+
+FULL_CHURN_DURATION = 20.0
+QUICK_CHURN_DURATION = 6.0
+
+
+@dataclass(frozen=True)
+class EngineBenchPoint:
+    """Timings of one node-count cell (identical workload per scheduler)."""
+
+    nodes: int
+    duration: float
+    lazy_seconds: float
+    heap_seconds: float
+    events_fired: int
+    expiries: int
+    compactions: int
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the lazy scheduler ran the same churn."""
+        if self.lazy_seconds <= 0:
+            return float("inf")
+        return self.heap_seconds / self.lazy_seconds
+
+
+@dataclass(frozen=True)
+class EngineBenchResult:
+    """One full engine-churn sweep over node counts."""
+
+    points: Tuple[EngineBenchPoint, ...]
+
+    def point(self, nodes: int) -> EngineBenchPoint:
+        for candidate in self.points:
+            if candidate.nodes == nodes:
+                return candidate
+        raise KeyError(nodes)
+
+    def node_counts(self) -> List[int]:
+        return sorted(point.nodes for point in self.points)
+
+    def format_table(self) -> str:
+        lines = ["Engine microbench — watchdog kick churn, lazy scheduler "
+                 "vs cancel-and-reschedule (same seed, digests verified "
+                 "equal)",
+                 f"{'nodes':>6} {'duration':>9} {'events':>8} "
+                 f"{'expiries':>9} {'lazy':>10} {'heap':>10} "
+                 f"{'speedup':>8}"]
+        for point in sorted(self.points, key=lambda p: p.nodes):
+            lines.append(
+                f"{point.nodes:6d} {point.duration:8.1f}s "
+                f"{point.events_fired:8d} {point.expiries:9d} "
+                f"{point.lazy_seconds:9.4f}s {point.heap_seconds:9.4f}s "
+                f"{point.speedup:7.2f}x")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "engine-timer-churn",
+            "watchdogs_per_node": WATCHDOGS_PER_NODE,
+            "watchdog_timeout": WATCHDOG_TIMEOUT,
+            "kick_period": KICK_PERIOD,
+            "silent_fraction": SILENT_FRACTION,
+            "points": [
+                {"nodes": p.nodes, "duration": p.duration,
+                 "lazy_seconds": round(p.lazy_seconds, 6),
+                 "heap_seconds": round(p.heap_seconds, 6),
+                 "events_fired": p.events_fired,
+                 "expiries": p.expiries,
+                 "compactions": p.compactions,
+                 "speedup": round(p.speedup, 3)}
+                for p in sorted(self.points, key=lambda p: p.nodes)],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "EngineBenchResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(points=tuple(
+            EngineBenchPoint(nodes=entry["nodes"],
+                             duration=entry["duration"],
+                             lazy_seconds=entry["lazy_seconds"],
+                             heap_seconds=entry["heap_seconds"],
+                             events_fired=entry["events_fired"],
+                             expiries=entry["expiries"],
+                             compactions=entry["compactions"])
+            for entry in data["points"]))
+
+
+def _run_churn(scheduler: str, nodes: int, duration: float, seed: int,
+               trace_path: Optional[str] = None
+               ) -> Tuple[float, str, int, int, int]:
+    """Time one watchdog-churn run under ``scheduler``.
+
+    Returns ``(seconds, digest, events_fired, expiries, compactions)``.
+    Every node keeps :data:`WATCHDOGS_PER_NODE` watchdogs kicked from a
+    per-node jittered heartbeat; a :data:`SILENT_FRACTION` of nodes stop
+    kicking halfway through, so their watchdogs expire (and re-kick
+    themselves), giving the trace digest content to compare.  All
+    randomness derives from ``seed`` alone, so two calls differing only
+    in ``scheduler`` do identical work and must log identical traces.
+    """
+    sim = Simulator(seed=seed, scheduler=scheduler)
+    rng = sim.rng.stream("bench.engine")
+    silent_after = duration / 2.0
+    expiries = [0]
+    for node in range(nodes):
+        watchdogs: List[WatchdogTimer] = []
+        for slot in range(WATCHDOGS_PER_NODE):
+            cell: List[WatchdogTimer] = []
+
+            def expire(node=node, slot=slot, cell=cell) -> None:
+                expiries[0] += 1
+                sim.record("bench.expire", node=node, slot=slot)
+                cell[0].kick()
+
+            dog = WatchdogTimer(sim, timeout=WATCHDOG_TIMEOUT,
+                                callback=expire,
+                                label=f"bench.dog{slot}@{node}")
+            cell.append(dog)
+            dog.kick()
+            watchdogs.append(dog)
+        period = KICK_PERIOD * (0.8 + 0.4 * rng.random())
+        silent = rng.random() < SILENT_FRACTION
+
+        def kick_all(watchdogs=watchdogs, silent=silent) -> None:
+            if silent and sim.now >= silent_after:
+                return
+            for dog in watchdogs:
+                dog.kick()
+
+        PeriodicTimer(sim, period, kick_all,
+                      label=f"bench.kick@{node}").start()
+    started = time.perf_counter()
+    sim.run(until=duration)
+    elapsed = time.perf_counter() - started
+    if trace_path:
+        dump_trace(sim, trace_path)
+    return (elapsed, trace_digest(sim), sim.events_fired, expiries[0],
+            sim.compactions)
+
+
+def bench_engine(quick: bool = False, seed: int = 2004,
+                 sizes: Optional[Tuple[int, ...]] = None,
+                 duration: Optional[float] = None,
+                 trace_out: Optional[str] = None) -> EngineBenchResult:
+    """Run the churn sweep; raise if the two schedulers ever diverge.
+
+    ``trace_out`` writes the largest lazy run's trace as JSONL.
+    """
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    if duration is None:
+        duration = QUICK_CHURN_DURATION if quick else FULL_CHURN_DURATION
+    points: List[EngineBenchPoint] = []
+    largest = max(sizes)
+    for nodes in sizes:
+        lazy_seconds, lazy_digest, lazy_fired, lazy_expiries, compactions = \
+            _run_churn("lazy", nodes, duration, seed,
+                       trace_path=trace_out if nodes == largest else None)
+        heap_seconds, heap_digest, heap_fired, heap_expiries, _ = \
+            _run_churn("heap", nodes, duration, seed)
+        if lazy_digest != heap_digest:
+            raise AssertionError(
+                f"schedulers diverged at {nodes} nodes: lazy digest "
+                f"{lazy_digest[:16]}… != heap {heap_digest[:16]}…")
+        if (lazy_fired, lazy_expiries) != (heap_fired, heap_expiries):
+            raise AssertionError(
+                f"schedulers diverged at {nodes} nodes: lazy fired "
+                f"{lazy_fired}/{lazy_expiries} expiries != heap "
+                f"{heap_fired}/{heap_expiries}")
+        points.append(EngineBenchPoint(
+            nodes=nodes, duration=duration, lazy_seconds=lazy_seconds,
+            heap_seconds=heap_seconds, events_fired=lazy_fired,
+            expiries=lazy_expiries, compactions=compactions))
+    return EngineBenchResult(points=tuple(points))
+
+
+def check_engine_regression(current: EngineBenchResult,
+                            baseline: EngineBenchResult,
+                            factor: float = ENGINE_REGRESSION_FACTOR
+                            ) -> Tuple[bool, str]:
+    """Gate the lazy-scheduler speedup and the simulated event counts.
+
+    The committed baseline carries both the quick and the full sweep's
+    cells, keyed by (nodes, duration).  Wherever the current run matches
+    a baseline cell exactly, its event/expiry counts must be **equal** —
+    they are simulated quantities, so any drift means the engine's
+    semantics changed, not the machine.  The wall-clock gate compares
+    speedup **ratios** at the largest common node count
+    (machine-independent, like the medium gate).
+    """
+    cur = {(p.nodes, p.duration): p for p in current.points}
+    base = {(p.nodes, p.duration): p for p in baseline.points}
+    for key in sorted(set(cur) & set(base)):
+        measured, expected = cur[key], base[key]
+        if ((measured.events_fired, measured.expiries)
+                != (expected.events_fired, expected.expiries)):
+            return False, (
+                f"COUNT DRIFT — {key[0]} nodes / {key[1]:.1f}s: "
+                f"events/expiries "
+                f"{measured.events_fired}/{measured.expiries} vs baseline "
+                f"{expected.events_fired}/{expected.expiries}")
+    common = sorted(set(current.node_counts())
+                    & set(baseline.node_counts()))
+    if not common:
+        return False, "no common node counts between run and baseline"
+    nodes = common[-1]
+    measured = max((p for p in current.points if p.nodes == nodes),
+                   key=lambda p: p.duration)
+    expected = base.get((measured.nodes, measured.duration)) or max(
+        (p for p in baseline.points if p.nodes == nodes),
+        key=lambda p: p.duration)
+    floor = expected.speedup / factor
+    message = (f"{nodes} nodes: speedup {measured.speedup:.2f}x vs "
+               f"baseline {expected.speedup:.2f}x (floor {floor:.2f}x)")
+    if measured.speedup < floor:
+        return False, f"REGRESSION — {message}"
     return True, f"ok — {message}"
 
 

@@ -75,6 +75,9 @@ class TankScenario:
     #: Run with the metrics registry + span tracker live (True) or as
     #: null objects (False); trace digests are identical either way.
     telemetry: bool = True
+    #: Event-engine scheduler ("lazy" or "heap"); results are
+    #: byte-identical either way — see the scheduler equivalence suite.
+    scheduler: str = "lazy"
     seed: int = 0
 
     @property
@@ -171,6 +174,7 @@ def build_app(scenario: TankScenario) -> EnviroTrackApp:
         enable_mtp=scenario.enable_mtp,
         medium_index=scenario.medium_index,
         telemetry=scenario.telemetry,
+        scheduler=scenario.scheduler,
     )
     if scenario.deployment_jitter > 0:
         app.field.deploy_jittered_grid(scenario.columns, scenario.rows,

@@ -219,6 +219,7 @@ class Mote:
         self.alive = False
         self.port.enabled = False
         self.cpu.shutdown()
+        self.mac.shutdown()
         for timer in self._timers:
             stop = getattr(timer, "stop", None) or getattr(timer, "cancel")
             stop()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from ..sim import Simulator
+from ..sim import Event, Simulator
 from .frames import Frame
 from .medium import Medium, Position
 
@@ -36,6 +36,14 @@ class MacBase:
 
     def send(self, frame: Frame) -> None:
         raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Abort any in-flight MAC activity (node crash/power-off).
+
+        A dead node must not keep transmitting: without this, pending
+        backoff/turnaround events outlive the mote and push its queued
+        frames onto the air after ``fail()``.
+        """
 
     @property
     def backlog(self) -> int:
@@ -78,10 +86,27 @@ class CsmaMac(MacBase):
         self._queue: Deque[Frame] = deque()
         self._busy = False
         self._rng = sim.rng.stream("radio.mac")
+        #: The single in-flight backoff/turnaround event (the MAC is
+        #: serial: at most one frame is between attempts at a time).
+        self._pending_event: Optional[Event] = None
 
     @property
     def backlog(self) -> int:
         return len(self._queue)
+
+    def shutdown(self) -> None:
+        """Cancel the in-flight attempt and drop the backlog.
+
+        Called when the owning mote fails: its ``mac.backoff`` /
+        ``mac.next`` events must not fire (and transmit) from a dead —
+        or later rebooted — node.  Leaves the MAC idle so a rebooted
+        mote starts from a clean state.
+        """
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._queue.clear()
+        self._busy = False
 
     def send(self, frame: Frame) -> None:
         if self._busy:
@@ -97,6 +122,7 @@ class CsmaMac(MacBase):
 
     # ------------------------------------------------------------------
     def _attempt(self, frame: Frame, attempt: int) -> None:
+        self._pending_event = None
         if not self.medium.channel_busy(self._position_fn()):
             self.sent += 1
             self.medium.transmit(frame)
@@ -110,15 +136,15 @@ class CsmaMac(MacBase):
             return
         lo, hi = self.backoff
         delay = self._rng.uniform(lo, hi) * attempt
-        self.sim.schedule(delay, self._attempt, frame, attempt + 1,
-                          label="mac.backoff")
+        self._pending_event = self.sim.schedule(
+            delay, self._attempt, frame, attempt + 1, label="mac.backoff")
 
     def _finish(self) -> None:
         if self._queue:
             nxt = self._queue.popleft()
             # Small turnaround gap before the next frame's first attempt.
-            self.sim.schedule(self.backoff[0], self._attempt, nxt, 1,
-                              label="mac.next")
+            self._pending_event = self.sim.schedule(
+                self.backoff[0], self._attempt, nxt, 1, label="mac.next")
         else:
             self._busy = False
 

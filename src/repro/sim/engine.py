@@ -6,6 +6,25 @@ reproduction — radios, motes, protocol timers, moving targets — schedules
 work through this object, which makes whole-system runs deterministic for a
 given seed.
 
+Scheduler
+---------
+The engine is *cancellation-aware*: EnviroTrack's group management is
+timer-dominated (every heartbeat kicks receive/wait watchdogs), so at
+scale most heap entries are lazily-cancelled garbage.  The default
+``scheduler="lazy"`` keeps the engine fast under that churn:
+
+* a live-event counter makes :meth:`pending` O(1);
+* :meth:`peek_time` lazily discards cancelled heap heads instead of
+  scanning (let alone sorting) the heap;
+* the heap is compacted when cancelled entries exceed a configurable
+  fraction of it;
+* :class:`TimerHandle` re-arms watchdog/periodic timers by mutating one
+  heap entry's deadline instead of cancel-and-reschedule.
+
+``Simulator(scheduler="heap")`` keeps the original cancel-and-reschedule
+path for differential testing; both schedulers produce byte-identical
+traces (see ``docs/ENGINE.md`` and the scheduler equivalence suite).
+
 Example
 -------
 >>> sim = Simulator(seed=7)
@@ -30,9 +49,119 @@ from ..telemetry.spans import NullSpanTracker, SpanTracker
 from .events import Event, EventSequencer, TraceRecord
 from .rng import RandomStreams
 
+#: Supported scheduler strategies.  ``"lazy"`` (default) is the
+#: cancellation-aware scheduler; ``"heap"`` is the original
+#: cancel-and-reschedule path, kept for differential testing.
+SCHEDULER_MODES = ("lazy", "heap")
+
+#: Compact once cancelled entries exceed this fraction of the heap…
+DEFAULT_COMPACT_RATIO = 0.5
+#: …but never bother below this many cancelled entries.
+DEFAULT_COMPACT_MIN = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class TimerHandle:
+    """One re-armable timer slot owned by :class:`TimerService`.
+
+    A handle owns **at most one** heap entry at a time (``event``).  Its
+    authoritative firing point is ``(deadline, seq)``; the heap entry's
+    ``(time, seq)`` may lag behind after in-place re-arms.  The engine
+    reconciles on pop: an entry that is no longer ``handle.event`` is
+    stale garbage; an entry whose ``(time, seq)`` trails the handle's is
+    re-pushed at the true deadline; a matching entry fires.
+
+    Every re-arm consumes one sequence number — exactly like the
+    cancel-and-reschedule it replaces — so tie-breaking, and therefore
+    the whole trace, is byte-identical across schedulers.
+    """
+
+    __slots__ = ("callback", "label", "deadline", "seq", "span", "event")
+
+    def __init__(self, callback: Callable[[], Any], label: str) -> None:
+        self.callback = callback
+        self.label = label
+        self.deadline = 0.0
+        self.seq = -1
+        self.span: Optional[int] = None
+        self.event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self.event is not None
+
+
+class TimerService:
+    """Arms, re-arms and cancels :class:`TimerHandle` slots.
+
+    Under the lazy scheduler a re-arm of an already-armed handle is three
+    attribute writes and a sequence-number bump — no allocation, no heap
+    operation.  Under ``scheduler="heap"`` every arm falls back to the
+    original cancel-and-reschedule so the two modes stay differentially
+    comparable.
+    """
+
+    def __init__(self, sim: "Simulator", rearm: bool) -> None:
+        self._sim = sim
+        self._rearm = rearm
+
+    def create(self, callback: Callable[[], Any],
+               label: str = "timer") -> TimerHandle:
+        """Allocate an unarmed handle for ``callback``."""
+        return TimerHandle(callback, label)
+
+    def arm(self, handle: TimerHandle, delay: float) -> None:
+        """(Re)arm ``handle`` to fire ``delay`` seconds from now."""
+        sim = self._sim
+        if delay < 0:
+            raise SimulationError(
+                f"cannot arm timer {delay!r}s in the past (now={sim._now})")
+        if not self._rearm:
+            self.cancel(handle)
+            handle.event = sim.schedule(delay, self._legacy_fire, handle,
+                                        label=handle.label)
+            return
+        deadline = sim._now + delay
+        spans = sim._live_spans
+        handle.deadline = deadline
+        handle.seq = sim._seq.next()
+        handle.span = None if spans is None else spans.current
+        entry = handle.event
+        if entry is not None and entry.time <= deadline:
+            # Fast path: the pending entry pops no later than the new
+            # deadline, so it can catch up lazily at pop time.
+            return
+        if entry is not None:
+            # Shortened deadline: the entry sits too late in the heap to
+            # ever catch up — abandon it and push a fresh one.
+            handle.event = None
+            sim._note_cancelled()
+        event = Event(time=deadline, seq=handle.seq,
+                      callback=handle.callback, label=handle.label,
+                      span=handle.span, handle=handle)
+        handle.event = event
+        heapq.heappush(sim._heap, event)
+        sim._live += 1
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Disarm ``handle``; its heap entry becomes lazy garbage."""
+        entry = handle.event
+        if entry is None:
+            return
+        handle.event = None
+        if not self._rearm:
+            entry.cancel()  # owner callback keeps the counters exact
+            return
+        self._sim._note_cancelled()
+
+    @staticmethod
+    def _legacy_fire(handle: TimerHandle) -> None:
+        """heap-mode trampoline: clear the slot, then fire."""
+        handle.event = None
+        handle.callback()
 
 
 class Simulator:
@@ -54,17 +183,43 @@ class Simulator:
         record nothing.  Telemetry is pure side-state either way: the
         event order, RNG streams and trace — hence ``trace_digest`` —
         are identical for both settings.
+    scheduler:
+        ``"lazy"`` (default) enables in-place timer re-arms and heap
+        compaction; ``"heap"`` keeps the original cancel-and-reschedule
+        path.  Traces are byte-identical across both.
+    compact_ratio / compact_min:
+        Lazy-scheduler compaction trigger: the heap is rebuilt without
+        garbage once cancelled entries exceed ``compact_ratio`` of the
+        heap *and* number at least ``compact_min``.
     """
 
     def __init__(self, seed: int = 0,
                  trace_capacity: Optional[int] = None,
-                 telemetry: bool = True) -> None:
+                 telemetry: bool = True,
+                 scheduler: str = "lazy",
+                 compact_ratio: float = DEFAULT_COMPACT_RATIO,
+                 compact_min: int = DEFAULT_COMPACT_MIN) -> None:
+        if scheduler not in SCHEDULER_MODES:
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             f"(expected one of {SCHEDULER_MODES})")
+        if not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1]: {compact_ratio}")
         self.seed = seed
+        self.scheduler = scheduler
+        self.compact_ratio = compact_ratio
+        self.compact_min = max(1, compact_min)
         self._now = 0.0
         self._heap: List[Event] = []
         self._seq = EventSequencer()
         self._running = False
         self._stopped = False
+        #: Scheduled, non-cancelled events (kept exact on every push,
+        #: pop, cancel and re-arm, so ``pending()`` is O(1)).
+        self._live = 0
+        #: Cancelled/stale entries still sitting in the heap.
+        self._cancelled = 0
+        self.compactions = 0
         self.rng = RandomStreams(seed)
         self.trace_capacity = trace_capacity
         self.trace: Deque[TraceRecord] = deque(maxlen=trace_capacity)
@@ -84,6 +239,16 @@ class Simulator:
         self._trace_counter = self.metrics.counter(
             "repro_trace_records_total",
             "Trace records written, by category.", ("category",))
+        self._heap_gauge = self.metrics.gauge(
+            "repro_sim_heap_size",
+            "Event-heap entries, including lazily-cancelled garbage.")
+        self._cancelled_gauge = self.metrics.gauge(
+            "repro_sim_cancelled_pending",
+            "Cancelled/stale entries awaiting lazy discard or compaction.")
+        self._compactions_counter = self.metrics.counter(
+            "repro_sim_compactions_total",
+            "Heap compactions (garbage-triggered rebuilds).")
+        self.timers = TimerService(self, rearm=(scheduler == "lazy"))
         self._profiler: Optional[EventLoopProfiler] = None
 
     # ------------------------------------------------------------------
@@ -145,8 +310,10 @@ class Simulator:
         spans = self._live_spans
         event = Event(time=when, seq=self._seq.next(), callback=callback,
                       args=args, kwargs=kwargs, label=label,
-                      span=None if spans is None else spans.current)
+                      span=None if spans is None else spans.current,
+                      owner=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any,
@@ -156,8 +323,90 @@ class Simulator:
         return self.schedule(0.0, callback, *args, label=label, **kwargs)
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping & compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """One live heap entry just became garbage (cancel or stale re-arm)."""
+        self._live -= 1
+        self._cancelled += 1
+        if (self.scheduler == "lazy"
+                and self._cancelled >= self.compact_min
+                and self._cancelled > self.compact_ratio * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without garbage entries.
+
+        Trace-neutral: the surviving entries' ``(time, seq)`` keys are
+        unchanged (deferred timer entries are normalized to their true
+        deadline, where they would have ended up anyway), so pop order —
+        and therefore the trace — is identical with or without
+        compaction.
+        """
+        live: List[Event] = []
+        for event in self._heap:
+            handle = event.handle
+            if handle is not None:
+                if event is handle.event:
+                    event.time = handle.deadline
+                    event.seq = handle.seq
+                    event.span = handle.span
+                    live.append(event)
+            elif not event.cancelled:
+                live.append(event)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled = 0
+        self.compactions += 1
+        self._compactions_counter.inc()
+        self._publish_engine_metrics()
+
+    def _publish_engine_metrics(self) -> None:
+        """Refresh the heap gauges (called on compaction and run exit)."""
+        self._heap_gauge.set(len(self._heap))
+        self._cancelled_gauge.set(self._cancelled)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next fireable event, reconciling lazy heap entries.
+
+        Discards cancelled/stale heads, re-pushes timer entries whose
+        handle's deadline moved later, and returns None at quiescence or
+        when the next firing lies strictly after ``until``.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if until is not None and event.time > until:
+                # A deferred timer entry's stale time only *understates*
+                # its true deadline, so crossing the horizon here is
+                # definitive for every entry kind.
+                return None
+            heapq.heappop(heap)
+            handle = event.handle
+            if handle is not None:
+                if event is not handle.event:
+                    self._cancelled -= 1  # stale slot: lazily discarded
+                    continue
+                if event.time != handle.deadline or event.seq != handle.seq:
+                    # Re-armed in place: catch up to the true deadline.
+                    event.time = handle.deadline
+                    event.seq = handle.seq
+                    event.span = handle.span
+                    heapq.heappush(heap, event)
+                    continue
+                handle.event = None  # fires now; callback may re-arm
+            elif event.cancelled:
+                self._cancelled -= 1
+                continue
+            else:
+                event.owner = None
+            self._live -= 1
+            return event
+        return None
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Dispatch events until the horizon, the event budget, or quiescence.
@@ -176,17 +425,12 @@ class Simulator:
         self._stopped = False
         fired = 0
         try:
-            while self._heap:
-                if self._stopped:
-                    break
+            while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._heap[0]
-                if until is not None and event.time > until:
+                event = self._pop_next(until)
+                if event is None:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
                 self._now = event.time
                 self._dispatch(event)
                 self._events_fired += 1
@@ -195,18 +439,30 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self._publish_engine_metrics()
 
     def step(self) -> Optional[Event]:
-        """Dispatch exactly one (non-cancelled) event; return it or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        """Dispatch exactly one (non-cancelled) event; return it or None.
+
+        Shares :meth:`run`'s semantics: calling it from inside an event
+        handler raises :class:`SimulationError` instead of corrupting the
+        in-progress dispatch, and it clears a pending :meth:`stop` flag
+        the way a fresh ``run()`` would.
+        """
+        if self._running:
+            raise SimulationError("step() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            event = self._pop_next()
+            if event is None:
+                return None
             self._now = event.time
             self._dispatch(event)
             self._events_fired += 1
             return event
-        return None
+        finally:
+            self._running = False
 
     def _dispatch(self, event: Event) -> None:
         """Fire one event inside its causal span, optionally profiled."""
@@ -243,14 +499,46 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, non-cancelled events — O(1)."""
+        return self._live
+
+    def cancelled_pending(self) -> int:
+        """Cancelled/stale entries still occupying the heap — O(1)."""
+        return self._cancelled
+
+    def heap_size(self) -> int:
+        """Total heap entries, garbage included — O(1)."""
+        return len(self._heap)
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next non-cancelled event, or None when quiescent."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
+        """Time of the next non-cancelled event, or None when quiescent.
+
+        Lazily discards cancelled heads and normalizes re-armed timer
+        entries while peeking, so repeated peeks under cancellation
+        churn amortize to O(log n) instead of the O(n log n) a
+        sort-based scan would cost.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            handle = event.handle
+            if handle is not None:
+                if event is not handle.event:
+                    heapq.heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                if event.time != handle.deadline or event.seq != handle.seq:
+                    heapq.heappop(heap)
+                    event.time = handle.deadline
+                    event.seq = handle.seq
+                    event.span = handle.span
+                    heapq.heappush(heap, event)
+                    continue
+            elif event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return event.time
         return None
 
     # ------------------------------------------------------------------

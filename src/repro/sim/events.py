@@ -32,13 +32,28 @@ class Event:
     #: Causal span current when the event was scheduled; the engine
     #: restores it around dispatch (telemetry only, never traced).
     span: Optional[int] = field(compare=False, default=None)
+    #: Owning simulator while the event sits in the heap; cancellation
+    #: reports back to it so live/cancelled counts stay O(1)-exact.  The
+    #: engine disowns the event once it leaves the heap.
+    owner: Optional[Any] = field(compare=False, default=None, repr=False)
+    #: Re-armable timer handle backing this entry, or None for plain
+    #: events (see :class:`repro.sim.engine.TimerHandle`).
+    handle: Optional[Any] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped.
 
-        Cancellation is O(1); the heap entry is lazily discarded.
+        Cancellation is O(1); the heap entry is lazily discarded (and the
+        owning simulator's cancelled-pending count updated, which may
+        trigger a heap compaction).
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            self.owner = None
+            owner._note_cancelled()
 
     @property
     def active(self) -> bool:

@@ -4,6 +4,12 @@ These mirror the timers EnviroTrack's group management uses: the *receive
 timer* and *wait timer* of Section 5.2 are :class:`WatchdogTimer`s (restart
 on every heartbeat, fire on silence), and leader heartbeats / member report
 schedules are :class:`PeriodicTimer`s.
+
+All three ride on the engine's :class:`~repro.sim.engine.TimerService`, so
+under the default lazy scheduler a restart (``kick``) mutates the timer's
+single heap entry instead of cancelling it and pushing a new one — the
+dominant cost at scale, since group management kicks a watchdog per
+heartbeat per node.
 """
 
 from __future__ import annotations
@@ -11,7 +17,6 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from .engine import Simulator
-from .events import Event
 
 
 class OneShotTimer:
@@ -25,26 +30,21 @@ class OneShotTimer:
                  label: str = "oneshot") -> None:
         self._sim = sim
         self._callback = callback
-        self._label = label
-        self._event: Optional[Event] = None
+        self._handle = sim.timers.create(self._fire, label)
         self.fire_count = 0
 
     @property
     def armed(self) -> bool:
-        return self._event is not None and self._event.active
+        return self._handle.armed
 
     def start(self, delay: float) -> None:
         """(Re)arm the timer to fire ``delay`` seconds from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire, label=self._label)
+        self._sim.timers.arm(self._handle, delay)
 
     def cancel(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._sim.timers.cancel(self._handle)
 
     def _fire(self) -> None:
-        self._event = None
         self.fire_count += 1
         self._callback()
 
@@ -83,29 +83,23 @@ class PeriodicTimer:
         self._sim = sim
         self.period = period
         self._callback = callback
-        self._label = label
         self._initial_delay = period if initial_delay is None else initial_delay
-        self._event: Optional[Event] = None
+        self._handle = sim.timers.create(self._fire, label)
         self.fire_count = 0
 
     @property
     def running(self) -> bool:
-        return self._event is not None and self._event.active
+        return self._handle.armed
 
     def start(self) -> None:
         """Start (or restart) the periodic schedule."""
-        self.stop()
-        self._event = self._sim.schedule(self._initial_delay, self._fire,
-                                         label=self._label)
+        self._sim.timers.arm(self._handle, self._initial_delay)
 
     def stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._sim.timers.cancel(self._handle)
 
     def _fire(self) -> None:
         self.fire_count += 1
-        # Reschedule before the callback so the callback may call stop().
-        self._event = self._sim.schedule(self.period, self._fire,
-                                         label=self._label)
+        # Re-arm before the callback so the callback may call stop().
+        self._sim.timers.arm(self._handle, self.period)
         self._callback()

@@ -7,9 +7,10 @@ import pytest
 from repro.analysis.render import chaos_chart
 from repro.cli import main
 from repro.experiments.chaos import (TAKEOVER_SLACK, ChaosPoint,
-                                     ChaosResult, chaos)
+                                     ChaosResult, _chaos_run, chaos)
 from repro.metrics import RecoveryReport
 from repro.metrics.recovery import CrashRecovery
+from repro.sim import load_trace
 
 
 @pytest.fixture(scope="module")
@@ -104,6 +105,34 @@ def test_cli_chaos_quick_writes_svg(tmp_path):
     assert svg_path.exists()
     document = xml.dom.minidom.parseString(svg_path.read_text())
     assert document.documentElement.tagName == "svg"
+
+
+@pytest.mark.parametrize("seed", [3, 29])
+def test_dead_nodes_stay_off_the_air(tmp_path, seed):
+    """MAC backoff/turnaround events must die with their mote.
+
+    Regression test for in-flight ``mac.backoff`` / ``mac.next`` events
+    outliving a crashed node: replay a chaos run's trace and assert no
+    node ever transmits between its ``node.fail`` and ``node.recover``
+    records.  The 50 ms heartbeats across 16 motes keep the channel busy
+    enough that crashes routinely land mid-backoff — pre-fix, every one
+    of these seeds had a dead node transmitting dozens of frames.
+    """
+    path = tmp_path / f"chaos-{seed}.jsonl"
+    _chaos_run(seed, 0.05, 1.5, 6, 0.3, 16, 8, trace_out=str(path))
+    dead_since = {}
+    saw_crash_while_busy = False
+    for record in load_trace(str(path)):
+        if record.category == "node.fail":
+            dead_since[record.node] = record.time
+            saw_crash_while_busy = True
+        elif record.category == "node.recover":
+            dead_since.pop(record.node, None)
+        elif record.category == "radio.tx" and record.node in dead_since:
+            raise AssertionError(
+                f"dead node {record.node} transmitted at {record.time} "
+                f"(failed at {dead_since[record.node]})")
+    assert saw_crash_while_busy  # the scenario actually crashed nodes
 
 
 def test_cli_seed_applies_to_chaos(capsys):

@@ -103,6 +103,31 @@ def test_failure_stops_timers():
     assert len(fired) == 2
 
 
+def test_failure_aborts_mac_backoff():
+    # Crash the mote while its CSMA MAC is backing off behind a busy
+    # channel: the queued frame must never reach the air — before the
+    # fix the mac.backoff event outlived the node and transmitted.
+    sim, medium, (a, b) = build()
+    got = []
+    b.register_handler("zombie", lambda f: got.append(f.kind))
+    # Slow, persistent backoff so the retries outlast the noise frame
+    # (the default window gives up long before 1s of airtime clears).
+    a.mac.backoff = (0.05, 0.1)
+    a.mac.max_attempts = 100
+    # Occupy the channel so a's send enters backoff instead of going out.
+    medium.transmit(Frame(src=1, dst=BROADCAST, kind="noise",
+                          size_bits=50_000))  # 1s airtime
+    a.send(Frame(src=0, dst=BROADCAST, kind="zombie"))
+    sim.run(until=0.01)  # CPU task ran; frame now sits in MAC backoff
+    assert a.mac.backlog == 0 and a.mac._busy
+    a.fail()
+    sim.run(until=5.0)
+    assert got == []
+    assert a.mac.sent == 0
+    tx_nodes = [r.node for r in sim.trace_records("radio.tx")]
+    assert 0 not in tx_nodes
+
+
 def test_recover_restores_radio():
     sim, _, (a, b) = build()
     got = []

@@ -99,3 +99,48 @@ def test_csma_rejects_bad_attempts():
     sim, medium, _ = build()
     with pytest.raises(ValueError):
         CsmaMac(sim, medium, lambda: (0, 0), max_attempts=0)
+
+
+def test_shutdown_cancels_inflight_backoff():
+    # A frame stuck in backoff behind a busy channel must die with the
+    # node: after shutdown() the pending mac.backoff event is cancelled
+    # and nothing transmits, even once the channel clears.
+    sim, medium, inbox = build()
+    occupier = NullMac(sim, medium, lambda: (0.0, 0.0))
+    occupier.send(Frame(src=0, dst=BROADCAST, kind="long",
+                        size_bits=50_000))  # 1s airtime
+    csma = CsmaMac(sim, medium, lambda: (1.0, 0.0))
+    csma.send(Frame(src=1, dst=BROADCAST, kind="zombie"))
+    csma.send(Frame(src=1, dst=BROADCAST, kind="queued"))
+    assert csma.backlog == 1
+    sim.schedule(0.001, csma.shutdown)
+    sim.run()
+    assert csma.sent == 0
+    assert csma.backlog == 0
+    assert not csma._busy
+    assert all(kind == "long" for _, kind in inbox)
+
+
+def test_shutdown_cancels_turnaround_and_clears_state():
+    # Shut down between a transmit and the queued frame's turnaround
+    # (mac.next): the queued frame must never hit the air, and the MAC
+    # must come back idle (a rebooted mote reuses the same object).
+    sim, medium, inbox = build()
+    csma = CsmaMac(sim, medium, lambda: (0.0, 0.0))
+    csma.send(Frame(src=0, dst=BROADCAST, kind="first"))
+    csma.send(Frame(src=0, dst=BROADCAST, kind="stale"))
+    csma.shutdown()  # first already transmitted; "stale" is in turnaround
+    sim.run()
+    assert sorted(kind for _, kind in inbox) == ["first"]
+    # Clean restart: the same MAC accepts and transmits new traffic.
+    csma.send(Frame(src=0, dst=BROADCAST, kind="fresh"))
+    sim.run()
+    assert "fresh" in [kind for _, kind in inbox]
+
+
+def test_shutdown_is_idempotent_and_null_mac_noop():
+    sim, medium, _ = build()
+    csma = CsmaMac(sim, medium, lambda: (0.0, 0.0))
+    csma.shutdown()
+    csma.shutdown()
+    NullMac(sim, medium, lambda: (0.0, 0.0)).shutdown()

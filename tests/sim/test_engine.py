@@ -1,8 +1,12 @@
 """Unit tests for the discrete-event engine."""
 
+import inspect
+
 import pytest
 
-from repro.sim import SimulationError, Simulator
+import repro.sim.engine as engine_module
+from repro.sim import (SCHEDULER_MODES, SimulationError, Simulator,
+                       WatchdogTimer)
 
 
 def test_events_fire_in_time_order():
@@ -166,3 +170,192 @@ def test_events_fired_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_fired == 5
+
+
+# ----------------------------------------------------------------------
+# Cancellation-aware scheduler
+# ----------------------------------------------------------------------
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="fifo")
+    for mode in SCHEDULER_MODES:
+        assert Simulator(scheduler=mode).scheduler == mode
+
+
+def test_bad_compact_ratio_rejected():
+    with pytest.raises(ValueError):
+        Simulator(compact_ratio=0.0)
+    with pytest.raises(ValueError):
+        Simulator(compact_ratio=1.5)
+
+
+def test_peek_time_does_not_sort_the_heap():
+    # Regression guard for the original O(n log n) implementation:
+    # peeking must lazily discard cancelled heads, never sort.
+    source = inspect.getsource(engine_module.Simulator.peek_time)
+    assert "sorted(" not in source
+    assert "sorted(" not in inspect.getsource(engine_module.Simulator.pending)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_MODES)
+def test_pending_counter_exact_under_cancel_churn(scheduler):
+    sim = Simulator(seed=5, scheduler=scheduler)
+    rng = sim.rng.stream("test.churn")
+    events = []
+    expected = 0
+    for i in range(400):
+        if events and rng.random() < 0.45:
+            event = events.pop(rng.randrange(len(events)))
+            event.cancel()
+            event.cancel()  # idempotent: must not double-count
+            expected -= 1
+        else:
+            events.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
+            expected += 1
+        assert sim.pending() == expected
+    fired = []
+    sim.schedule(11.0, fired.append, "end")
+    sim.run()
+    assert fired == ["end"]
+    assert sim.pending() == 0
+    assert sim.cancelled_pending() == 0
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_MODES)
+def test_peek_time_exact_under_cancel_churn(scheduler):
+    sim = Simulator(seed=6, scheduler=scheduler)
+    rng = sim.rng.stream("test.churn")
+    events = {}
+    for i in range(300):
+        events[i] = sim.schedule(rng.uniform(0.0, 10.0), lambda: None)
+    for i in sorted(events):
+        if rng.random() < 0.7:
+            events[i].cancel()
+            del events[i]
+        expected = min((e.time for e in events.values()), default=None)
+        assert sim.peek_time() == expected
+
+
+def test_step_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+    sim2 = Simulator()
+    sim2.schedule(1.0, lambda: errors.append(None))
+
+    def nested_step():
+        try:
+            sim2.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim2.schedule(0.5, nested_step)
+    sim2.step()
+    assert isinstance(errors[-1], SimulationError)
+
+
+def test_step_clears_stale_stop_flag():
+    # Aligns step() with run(): a stop() from a previous run must not
+    # leak into later single-stepping.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.stop())
+    sim.schedule(2.0, fired.append, "later")
+    sim.run()
+    assert fired == []
+    assert sim.step() is not None
+    assert fired == ["later"]
+
+
+def test_step_skips_cancelled_and_reports_none_when_drained():
+    sim = Simulator()
+    fired = []
+    cancelled = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "live")
+    cancelled.cancel()
+    event = sim.step()
+    assert event is not None and fired == ["live"]
+    assert sim.step() is None
+
+
+def test_compaction_reclaims_garbage_and_keeps_order():
+    sim = Simulator(seed=1, compact_min=8, compact_ratio=0.25)
+    fired = []
+    doomed = [sim.schedule(5.0 + i * 0.01, fired.append, f"dead{i}")
+              for i in range(40)]
+    survivors = [sim.schedule(1.0 + i, fired.append, f"live{i}")
+                 for i in range(3)]
+    assert survivors
+    for event in doomed:
+        event.cancel()
+    assert sim.compactions > 0
+    # Residual garbage stays below the compaction trigger floor, and the
+    # heap holds exactly live + residual-garbage entries.
+    assert sim.cancelled_pending() < sim.compact_min
+    assert sim.pending() == 3
+    assert sim.heap_size() == sim.pending() + sim.cancelled_pending()
+    sim.run()
+    assert fired == ["live0", "live1", "live2"]
+
+
+def test_heap_scheduler_never_compacts():
+    sim = Simulator(scheduler="heap", compact_min=4, compact_ratio=0.1)
+    for i in range(50):
+        sim.schedule(1.0, lambda: None).cancel()
+    assert sim.compactions == 0
+    assert sim.cancelled_pending() == 50
+    sim.run()
+    assert sim.cancelled_pending() == 0
+
+
+def test_compaction_normalizes_rearmed_timer_entries():
+    # A deferred (in-place re-armed) watchdog entry must survive
+    # compaction at its *true* deadline, not the stale heap key.
+    sim = Simulator(seed=2, compact_min=4, compact_ratio=0.1)
+    fired = []
+    dog = WatchdogTimer(sim, timeout=1.0, callback=lambda: fired.append(
+        sim.now), label="dog")
+    dog.kick()
+    sim.schedule(0.5, dog.kick)  # defer the pending entry in place
+    sim.run(until=0.6)
+    for i in range(20):  # force a compaction while the entry is deferred
+        sim.schedule(2.0, lambda: None).cancel()
+    assert sim.compactions > 0
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_engine_gauges_published_after_run():
+    sim = Simulator(seed=3, compact_min=4, compact_ratio=0.1)
+    for i in range(10):
+        sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.metrics.gauge("repro_sim_heap_size",
+                             "").value() == 0.0
+    assert sim.metrics.gauge("repro_sim_cancelled_pending",
+                             "").value() == 0.0
+    assert sim.metrics.counter("repro_sim_compactions_total",
+                               "").value() == float(sim.compactions)
+    assert sim.compactions > 0
+
+
+def test_heap_size_and_cancelled_pending_track_garbage():
+    sim = Simulator(scheduler="heap")
+    live = sim.schedule(1.0, lambda: None)
+    dead = sim.schedule(2.0, lambda: None)
+    dead.cancel()
+    assert sim.heap_size() == 2
+    assert sim.pending() == 1
+    assert sim.cancelled_pending() == 1
+    assert live.active

@@ -1,0 +1,134 @@
+"""The lazy scheduler must be trace-equivalent to cancel-and-reschedule.
+
+Random programs of schedules, cancellations, watchdog kicks and periodic
+stop/starts are run under both ``Simulator(scheduler="lazy")`` and
+``Simulator(scheduler="heap")``; fire order, trace digest and the
+events-fired count must match exactly.  A separate property pins the
+lazy scheduler's raison d'être: the heap stays bounded by the number of
+*live* timers under sustained watchdog churn, instead of growing with
+the kick count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (OneShotTimer, PeriodicTimer, Simulator,
+                       WatchdogTimer, trace_digest)
+
+# One program step: advance a little, then apply one action to one of the
+# program's timers/events.  Both runs consume the identical step list.
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=0.4,
+                  allow_nan=False, allow_infinity=False),  # dt
+        st.integers(min_value=0, max_value=5),             # action
+        st.integers(min_value=0, max_value=7),             # target index
+        st.floats(min_value=0.05, max_value=1.5,
+                  allow_nan=False, allow_infinity=False),  # delay param
+    ),
+    min_size=1, max_size=40)
+
+timeouts = st.lists(st.floats(min_value=0.1, max_value=1.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=3, max_size=3)
+
+
+def _run_program(scheduler, program, dog_timeouts, seed):
+    """Execute one generated program; return (fire log, digest, fired)."""
+    sim = Simulator(seed=seed, scheduler=scheduler,
+                    compact_min=4, compact_ratio=0.25)
+    log = []
+
+    def note(kind, idx):
+        log.append((kind, idx, sim.now))
+        sim.record("fire", kind=kind, idx=idx)
+
+    dogs = [WatchdogTimer(sim, timeout=timeout,
+                          callback=lambda i=i: note("dog", i),
+                          label=f"dog{i}")
+            for i, timeout in enumerate(dog_timeouts)]
+    ticker = PeriodicTimer(sim, 0.3, lambda: note("tick", 0),
+                           label="tick")
+    shot = OneShotTimer(sim, lambda: note("shot", 0), label="shot")
+    plain = []
+
+    def apply(action, idx, param):
+        if action == 0:
+            plain.append(sim.schedule(param, note, "plain", len(plain),
+                                      label="plain"))
+        elif action == 1 and plain:
+            plain[idx % len(plain)].cancel()
+        elif action == 2:
+            dogs[idx % len(dogs)].kick()
+        elif action == 3:
+            dogs[idx % len(dogs)].cancel()
+        elif action == 4:
+            if ticker.running and idx % 2:
+                ticker.stop()
+            else:
+                ticker.start()
+        else:
+            shot.start(param)
+
+    when = 0.0
+    for dt, action, idx, param in program:
+        when += dt
+        sim.schedule_at(when, apply, action, idx, param)
+    sim.run(until=when + 3.0)
+    return log, trace_digest(sim), sim.events_fired
+
+
+@given(steps, timeouts, st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=120, deadline=None)
+def test_random_programs_fire_identically(program, dog_timeouts, seed):
+    lazy = _run_program("lazy", program, dog_timeouts, seed)
+    heap = _run_program("heap", program, dog_timeouts, seed)
+    assert lazy == heap
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.floats(min_value=0.01, max_value=0.1,
+                 allow_nan=False, allow_infinity=False))
+@settings(max_examples=25, deadline=None)
+def test_heap_bounded_under_sustained_watchdog_churn(dog_count, period):
+    """Kicking N watchdogs forever keeps the heap O(N), not O(kicks)."""
+    sim = Simulator(seed=7)
+    dogs = [WatchdogTimer(sim, timeout=5.0, callback=lambda: None,
+                          label=f"dog{i}")
+            for i in range(dog_count)]
+    peak = [0]
+
+    def kick_all():
+        for dog in dogs:
+            dog.kick()
+        peak[0] = max(peak[0], sim.heap_size())
+
+    PeriodicTimer(sim, period, kick_all, label="kicker").start()
+    sim.run(until=20.0)
+    kicks = 20.0 / period  # ≥ 200 kick rounds
+    # One entry per watchdog + the kicker itself + a little slack; in
+    # particular nowhere near one entry per kick.
+    bound = dog_count + 2
+    assert peak[0] <= bound
+    assert sim.heap_size() <= bound
+    assert kicks * dog_count > 10 * bound  # the bound actually bites
+
+
+def test_compaction_bounds_plain_cancel_churn():
+    """Cancel-heavy plain-event load stays bounded via compaction."""
+    sim = Simulator(seed=8, compact_min=32, compact_ratio=0.25)
+    peak = [0]
+
+    def churn(round_no):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None).cancel()
+        peak[0] = max(peak[0], sim.heap_size())
+        if round_no < 200:
+            sim.schedule(0.01, churn, round_no + 1)
+
+    sim.schedule(0.0, churn, 0)
+    sim.run()
+    assert sim.compactions > 0
+    # 2000 cancelled schedules total, but the heap never held more than
+    # a small multiple of the compaction floor.
+    assert peak[0] <= 8 * 32
